@@ -1,0 +1,177 @@
+// Timing microbenchmarks (google-benchmark) backing the paper's claim that
+// next-question selection takes at most one or two seconds and is
+// negligible against human latency (Section 7). Covers query evaluation
+// with witness tracking, satisfiability probes, hitting-set machinery
+// (greedy vs exact), the min-cut and WhyNot? split substrates, and the
+// end-to-end per-answer cleaning routines.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cleaning/add_missing_answer.h"
+#include "src/cleaning/remove_wrong_answer.h"
+#include "src/cleaning/split_strategy.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/graph/graph.h"
+#include "src/hittingset/hitting_set.h"
+#include "src/provenance/whynot.h"
+#include "src/query/evaluator.h"
+#include "src/query/parser.h"
+#include "src/workload/noise.h"
+#include "src/workload/soccer.h"
+
+namespace {
+
+using namespace qoco;  // NOLINT(build/namespaces): benchmark driver.
+
+const workload::SoccerData& Soccer() {
+  static const workload::SoccerData& data =
+      *new workload::SoccerData(
+          std::move(workload::MakeSoccerData(workload::SoccerParams{}))
+              .value());
+  return data;
+}
+
+void BM_EvaluateSoccerQuery(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  auto q = workload::SoccerQuery(static_cast<size_t>(state.range(0)),
+                                 *data.catalog);
+  query::Evaluator evaluator(data.ground_truth.get());
+  size_t answers = 0;
+  for (auto _ : state) {
+    query::EvalResult result = evaluator.Evaluate(*q);
+    answers = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_EvaluateSoccerQuery)->DenseRange(1, 5);
+
+void BM_SatisfiabilityProbe(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  auto q = workload::SoccerQuery(3, *data.catalog);
+  query::Evaluator evaluator(data.ground_truth.get());
+  query::Assignment empty(q->num_vars());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.IsSatisfiable(*q, empty));
+  }
+}
+BENCHMARK(BM_SatisfiabilityProbe);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  std::string text = workload::SoccerQueryTexts()[1];
+  for (auto _ : state) {
+    auto q = query::ParseQuery(text, *data.catalog);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+hittingset::Instance RandomInstance(size_t elements, size_t sets,
+                                    size_t set_size, uint64_t seed) {
+  common::Rng rng(seed);
+  hittingset::Instance instance;
+  instance.num_elements = elements;
+  for (size_t s = 0; s < sets; ++s) {
+    std::vector<int> set;
+    for (size_t i = 0; i < set_size; ++i) {
+      set.push_back(static_cast<int>(rng.Index(elements)));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    instance.sets.push_back(std::move(set));
+  }
+  return instance;
+}
+
+void BM_GreedyHittingSet(benchmark::State& state) {
+  hittingset::Instance instance =
+      RandomInstance(static_cast<size_t>(state.range(0)),
+                     static_cast<size_t>(state.range(0)) * 3, 4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hittingset::GreedyHittingSet(instance));
+  }
+}
+BENCHMARK(BM_GreedyHittingSet)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ExactHittingSet(benchmark::State& state) {
+  hittingset::Instance instance = RandomInstance(
+      static_cast<size_t>(state.range(0)),
+      static_cast<size_t>(state.range(0)) * 2, 3, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hittingset::ExactMinimumHittingSet(instance));
+  }
+}
+BENCHMARK(BM_ExactHittingSet)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_StoerWagnerMinCut(benchmark::State& state) {
+  common::Rng rng(3);
+  size_t n = static_cast<size_t>(state.range(0));
+  graph::WeightedGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Chance(0.3)) g.AddEdge(i, j, rng.Uniform(1, 5));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::GlobalMinCut(g));
+  }
+}
+BENCHMARK(BM_StoerWagnerMinCut)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_WhyNotAnalyze(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  auto q = workload::SoccerQuery(5, *data.catalog);
+  auto planted =
+      workload::PlantErrors(*q, *data.ground_truth, 0, 3, /*seed=*/5);
+  auto q_t = q->InstantiateAnswer(planted->missing.front());
+  provenance::WhyNotAnalyzer analyzer(&planted->db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(*q_t));
+  }
+}
+BENCHMARK(BM_WhyNotAnalyze);
+
+// End-to-end per-answer cleaning: the paper reports the time to select the
+// next question never exceeded one or two seconds; these run a *whole*
+// answer repair (all question selections for one answer) per iteration.
+void BM_RemoveWrongAnswerEndToEnd(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  auto q = workload::SoccerQuery(3, *data.catalog);
+  auto planted =
+      workload::PlantErrors(*q, *data.ground_truth, 3, 0, /*seed=*/5);
+  crowd::SimulatedOracle oracle(data.ground_truth.get());
+  common::Rng rng(1);
+  for (auto _ : state) {
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    auto result =
+        cleaning::RemoveWrongAnswer(*q, planted->db, planted->wrong.front(),
+                                    &panel, cleaning::DeletionPolicy::kQoco,
+                                    &rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RemoveWrongAnswerEndToEnd);
+
+void BM_AddMissingAnswerEndToEnd(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  auto q = workload::SoccerQuery(3, *data.catalog);
+  auto planted =
+      workload::PlantErrors(*q, *data.ground_truth, 0, 3, /*seed=*/5);
+  crowd::SimulatedOracle oracle(data.ground_truth.get());
+  common::Rng rng(1);
+  for (auto _ : state) {
+    relational::Database db = planted->db;
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    auto result = cleaning::AddMissingAnswer(
+        *q, &db, planted->missing.front(), &panel,
+        cleaning::InsertionConfig{}, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AddMissingAnswerEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

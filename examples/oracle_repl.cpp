@@ -1,0 +1,169 @@
+// Interactive oracle: YOU play the domain expert.
+//
+// Loads the Figure 1 World Cup sample and cleans Q1 ("European teams that
+// won the World Cup at least twice"), asking every crowd question on
+// stdin. Answer y/n for boolean questions and provide values for
+// completion tasks. On EOF (or when run non-interactively) the session
+// falls back to the built-in ground truth, so the example always runs to
+// completion.
+//
+// Build & run:  ./build/examples/oracle_repl
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/cleaning/cleaner.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/workload/figure_one.h"
+
+namespace {
+
+using namespace qoco;  // NOLINT(build/namespaces): example code.
+
+/// An oracle that asks the user on stdin and falls back to the ground
+/// truth after EOF.
+class StdinOracle : public crowd::Oracle {
+ public:
+  StdinOracle(const relational::Database* ground_truth,
+              const relational::Catalog* catalog)
+      : fallback_(ground_truth), catalog_(catalog) {}
+
+  bool IsFactTrue(const relational::Fact& fact) override {
+    std::optional<bool> answer = AskYesNo(
+        "Is the fact " + fallback_.ground_truth().FactToString(fact) +
+        " true?");
+    return answer.value_or(fallback_.IsFactTrue(fact));
+  }
+
+  bool IsAnswerTrue(const query::CQuery& q,
+                    const relational::Tuple& t) override {
+    std::optional<bool> answer = AskYesNo(
+        "Is " + relational::TupleToString(t) +
+        " a correct answer of the query?");
+    return answer.value_or(fallback_.IsAnswerTrue(q, t));
+  }
+
+  bool IsAnswerTrue(const query::UnionQuery& q,
+                    const relational::Tuple& t) override {
+    std::optional<bool> answer = AskYesNo(
+        "Is " + relational::TupleToString(t) +
+        " a correct answer of the union query?");
+    return answer.value_or(fallback_.IsAnswerTrue(q, t));
+  }
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) override {
+    return fallback_.MissingAnswer(q, current);
+  }
+
+  std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) override {
+    if (eof_) return fallback_.Complete(q, partial);
+    std::printf("\nCompletion task. Query body: %s\n",
+                q.ToString(*catalog_).c_str());
+    std::printf("Partial assignment: %s\n",
+                partial.ToString(q).c_str());
+    std::optional<bool> satisfiable =
+        AskYesNo("Can this be completed into a true witness?");
+    if (!satisfiable.has_value()) return fallback_.Complete(q, partial);
+    if (!*satisfiable) return std::nullopt;
+    query::Assignment result = partial;
+    for (query::VarId v : q.BodyVars()) {
+      if (result.IsBound(v)) continue;
+      std::printf("  value for %s: ", q.var_name(v).c_str());
+      std::fflush(stdout);
+      std::string line;
+      if (!std::getline(std::cin, line)) {
+        eof_ = true;
+        return fallback_.Complete(q, partial);
+      }
+      result.Bind(v, relational::Value(line));
+    }
+    return result;
+  }
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) override {
+    if (eof_) return fallback_.MissingAnswer(q, current);
+    std::printf("\nThe current query result is:");
+    for (const relational::Tuple& t : current) {
+      std::printf(" %s", relational::TupleToString(t).c_str());
+    }
+    std::optional<bool> missing = AskYesNo("\nIs any answer missing?");
+    if (!missing.has_value()) return fallback_.MissingAnswer(q, current);
+    if (!*missing) return std::nullopt;
+    std::printf("  missing answer value: ");
+    std::fflush(stdout);
+    std::string line;
+    if (!std::getline(std::cin, line)) {
+      eof_ = true;
+      return fallback_.MissingAnswer(q, current);
+    }
+    return relational::Tuple{relational::Value(line)};
+  }
+
+ private:
+  std::optional<bool> AskYesNo(const std::string& prompt) {
+    if (eof_) return std::nullopt;
+    while (true) {
+      std::printf("%s [y/n] ", prompt.c_str());
+      std::fflush(stdout);
+      std::string line;
+      if (!std::getline(std::cin, line)) {
+        eof_ = true;
+        std::printf("(EOF - falling back to the built-in ground truth)\n");
+        return std::nullopt;
+      }
+      if (line == "y" || line == "Y") return true;
+      if (line == "n" || line == "N") return false;
+    }
+  }
+
+  crowd::SimulatedOracle fallback_;
+  const relational::Catalog* catalog_;
+  bool eof_ = false;
+};
+
+}  // namespace
+
+int main() {
+  auto sample_or = workload::MakeFigureOneSample();
+  if (!sample_or.ok()) {
+    std::fprintf(stderr, "%s\n", sample_or.status().ToString().c_str());
+    return 1;
+  }
+  workload::FigureOneSample sample = std::move(sample_or).value();
+
+  std::printf("You are the oracle for the World Cup database of Figure 1.\n");
+  std::printf("Query: %s\n", sample.q1.ToString(*sample.catalog).c_str());
+  std::printf("(answers: European teams that won at least two finals)\n");
+
+  StdinOracle oracle(sample.ground_truth.get(), sample.catalog.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *sample.dirty;
+  cleaning::QocoCleaner cleaner(sample.q1, &db, &panel,
+                                cleaning::CleanerConfig{}, common::Rng(1));
+  auto stats_or = cleaner.Run();
+  if (!stats_or.ok()) {
+    std::fprintf(stderr, "%s\n", stats_or.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nSession complete. Edits applied:\n");
+  for (const cleaning::Edit& e : stats_or->edits) {
+    std::printf("  %s\n", cleaning::EditToString(e, db).c_str());
+  }
+  query::Evaluator eval(&db);
+  std::printf("Final result:");
+  for (const relational::Tuple& t :
+       eval.Evaluate(sample.q1).AnswerTuples()) {
+    std::printf(" %s", relational::TupleToString(t).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "src/cleaning/cleaner.h"
+
+#include <set>
+
+#include "src/crowd/enumeration_estimator.h"
+#include "src/query/evaluator.h"
+
+namespace qoco::cleaning {
+
+common::Result<CleanerStats> QocoCleaner::Run() {
+  CleanerStats stats;
+  query::Evaluator evaluator(db_);
+  std::set<relational::Tuple> verified;
+  crowd::QuestionCounts baseline = panel_->counts();
+
+  bool first_iteration = true;
+  while (stats.iterations < config_.max_iterations) {
+    // Re-entry condition (line 1): first iteration, or unverified answers
+    // remain (insertions/deletions may have created new errors).
+    std::vector<relational::Tuple> current =
+        evaluator.Evaluate(q_).AnswerTuples();
+    bool has_unverified = false;
+    for (const relational::Tuple& t : current) {
+      if (!verified.contains(t)) has_unverified = true;
+    }
+    // Without the deletion part there is no verification loop, so a single
+    // insertion pass is all the algorithm can do.
+    if (!first_iteration && (!has_unverified || !config_.do_deletion)) break;
+    first_iteration = false;
+    ++stats.iterations;
+
+    // Deletion part (lines 2-6): verify every unverified answer; remove
+    // the wrong ones. Re-evaluate after each removal since edits can
+    // change the result.
+    while (config_.do_deletion) {
+      current = evaluator.Evaluate(q_).AnswerTuples();
+      const relational::Tuple* next_unverified = nullptr;
+      for (const relational::Tuple& t : current) {
+        if (!verified.contains(t)) {
+          next_unverified = &t;
+          break;
+        }
+      }
+      if (next_unverified == nullptr) break;
+      relational::Tuple t = *next_unverified;
+      if (panel_->VerifyAnswer(q_, t)) {
+        verified.insert(t);
+        continue;
+      }
+      QOCO_ASSIGN_OR_RETURN(
+          RemoveResult removal,
+          RemoveWrongAnswer(q_, *db_, t, panel_, config_.deletion_policy,
+                            &rng_, config_.trust));
+      if (removal.edits.empty()) {
+        // Contradictory crowd verdicts (the answer was judged wrong but
+        // every witness tuple verified true) are possible with imperfect
+        // experts; accept the answer to guarantee progress.
+        verified.insert(t);
+        continue;
+      }
+      QOCO_RETURN_NOT_OK(ApplyEdits(removal.edits, db_));
+      stats.edits.insert(stats.edits.end(), removal.edits.begin(),
+                         removal.edits.end());
+      stats.deletion_upper_bound += removal.distinct_witness_facts;
+      ++stats.wrong_answers_removed;
+    }
+
+    // Insertion part (lines 7-9): enumerate missing answers with the
+    // crowd until the enumeration black-box reports completeness.
+    crowd::EnumerationEstimator estimator(config_.enumeration_nulls_to_stop);
+    std::set<relational::Tuple> attempted;
+    while (config_.do_insertion && !estimator.IsLikelyComplete()) {
+      current = evaluator.Evaluate(q_).AnswerTuples();
+      std::optional<relational::Tuple> missing =
+          panel_->MissingAnswer(q_, current);
+      if (missing.has_value() && !attempted.insert(*missing).second) {
+        // An earlier insertion attempt for this answer failed (possible
+        // only with imperfect experts); treat the repeat as exhaustion so
+        // the loop terminates.
+        estimator.RecordReply(std::nullopt);
+        continue;
+      }
+      estimator.RecordReply(missing);
+      if (!missing.has_value()) continue;
+      QOCO_ASSIGN_OR_RETURN(
+          InsertResult insertion,
+          AddMissingAnswer(q_, db_, *missing, panel_, config_.insertion,
+                           &rng_));
+      stats.edits.insert(stats.edits.end(), insertion.edits.begin(),
+                         insertion.edits.end());
+      stats.insertion_upper_bound += insertion.naive_upper_bound_vars;
+      if (insertion.succeeded) {
+        verified.insert(*missing);
+        ++stats.missing_answers_added;
+      }
+    }
+  }
+
+  stats.questions = panel_->counts() - baseline;
+  return stats;
+}
+
+}  // namespace qoco::cleaning

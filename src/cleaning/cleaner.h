@@ -1,0 +1,81 @@
+#ifndef QOCO_CLEANING_CLEANER_H_
+#define QOCO_CLEANING_CLEANER_H_
+
+#include "src/cleaning/add_missing_answer.h"
+#include "src/cleaning/edit.h"
+#include "src/cleaning/remove_wrong_answer.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/question_log.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::cleaning {
+
+/// Configuration of the end-to-end cleaner (Algorithm 3).
+struct CleanerConfig {
+  DeletionPolicy deletion_policy = DeletionPolicy::kQoco;
+  /// Consulted only by DeletionPolicy::kLeastTrusted.
+  const TrustModel* trust = nullptr;
+  InsertionConfig insertion;
+  /// Phase toggles: the deletion-only / insertion-only experiments of
+  /// Section 7.2 run Algorithm 3 with one of the parts switched off.
+  bool do_deletion = true;
+  bool do_insertion = true;
+  /// Consecutive "result is complete" crowd replies required by the
+  /// enumeration black-box before the insertion loop stops. 1 suffices for
+  /// a perfect oracle.
+  size_t enumeration_nulls_to_stop = 1;
+  /// Safety bound on outer iterations: with a perfect oracle convergence
+  /// is guaranteed (Propositions 3.3/3.4), but imperfect experts can
+  /// oscillate.
+  size_t max_iterations = 25;
+};
+
+/// Aggregate outcome of a cleaning session.
+struct CleanerStats {
+  EditList edits;
+  size_t wrong_answers_removed = 0;
+  size_t missing_answers_added = 0;
+  size_t iterations = 0;
+  /// Sum over removed answers of the distinct facts in their witness sets:
+  /// the naive deletion upper bound (Figure 3's bar totals).
+  size_t deletion_upper_bound = 0;
+  /// Sum over added answers of |Var(Q|t)|: the naive insertion upper
+  /// bound.
+  size_t insertion_upper_bound = 0;
+  /// Crowd interaction counters accumulated during the session.
+  crowd::QuestionCounts questions;
+};
+
+/// Algorithm 3 (Main): repairs Q(D) against the ground truth by repeatedly
+/// (a) verifying every unverified answer of Q(D) with the crowd, removing
+/// wrong ones via Algorithm 1, and (b) asking the crowd for missing answers
+/// until the enumeration black-box reports completeness, inserting them via
+/// Algorithm 2. Fixing one error class can expose errors of the other
+/// (Example 6.1); the outer loop converges because every edit moves D
+/// closer to DG (Proposition 3.3).
+class QocoCleaner {
+ public:
+  /// `db` is cleaned in place; `panel` supplies the crowd; all must
+  /// outlive the cleaner.
+  QocoCleaner(const query::CQuery& q, relational::Database* db,
+              crowd::CrowdPanel* panel, CleanerConfig config,
+              common::Rng rng)
+      : q_(q), db_(db), panel_(panel), config_(config), rng_(rng) {}
+
+  /// Runs the cleaning session to convergence (or the iteration cap).
+  common::Result<CleanerStats> Run();
+
+ private:
+  const query::CQuery& q_;
+  relational::Database* db_;
+  crowd::CrowdPanel* panel_;
+  CleanerConfig config_;
+  common::Rng rng_;
+};
+
+}  // namespace qoco::cleaning
+
+#endif  // QOCO_CLEANING_CLEANER_H_

@@ -1,0 +1,78 @@
+#include "src/cleaning/constraint_enforcer.h"
+
+#include <string>
+
+#include "src/query/query.h"
+
+namespace qoco::cleaning {
+
+namespace {
+
+/// Builds the single-atom completion query for a missing reference: pinned
+/// columns become constants, the rest fresh variables (head = all vars, no
+/// projection), so COMPL(∅, Q) asks the crowd for the referenced tuple.
+common::Result<query::CQuery> ReferenceQuery(
+    const relational::MissingReference& ref) {
+  std::vector<query::Term> terms;
+  std::vector<query::Term> head;
+  std::vector<std::string> var_names;
+  for (size_t c = 0; c < ref.pinned.size(); ++c) {
+    if (ref.pinned[c].has_value()) {
+      terms.push_back(query::Term::MakeConst(*ref.pinned[c]));
+    } else {
+      query::VarId v = static_cast<query::VarId>(var_names.size());
+      var_names.push_back("col" + std::to_string(c));
+      terms.push_back(query::Term::MakeVar(v));
+      head.push_back(query::Term::MakeVar(v));
+    }
+  }
+  return query::CQuery::Make(std::move(head),
+                             {query::Atom{ref.relation, std::move(terms)}},
+                             {}, std::move(var_names));
+}
+
+}  // namespace
+
+common::Result<ConstraintEnforcer::Reconciliation>
+ConstraintEnforcer::ReconcileInsertion(const relational::Fact& fact,
+                                       relational::Database* db, int depth) {
+  Reconciliation out;
+  if (depth > kMaxDepth) return out;  // Reference chain too deep; reject.
+
+  // Key conflicts: verify each resident rival; delete false ones, reject
+  // the insertion if a rival is confirmed true.
+  for (const relational::Fact& rival :
+       constraints_->KeyConflicts(*db, fact)) {
+    if (crowd_->VerifyFact(rival)) {
+      return out;  // A true tuple owns this key; the insertion is wrong.
+    }
+    QOCO_RETURN_NOT_OK(db->Erase(rival).status());
+    out.edits.push_back(Edit::Delete(rival));
+  }
+
+  // Dangling references: have the crowd complete each required referenced
+  // tuple, then reconcile and insert it (references can cascade).
+  for (const relational::MissingReference& ref :
+       constraints_->MissingReferences(*db, fact)) {
+    QOCO_ASSIGN_OR_RETURN(query::CQuery ref_query, ReferenceQuery(ref));
+    std::optional<query::Assignment> completion =
+        crowd_->Complete(ref_query, query::Assignment(ref_query.num_vars()));
+    if (!completion.has_value()) return out;  // Reference unsatisfiable.
+    std::optional<relational::Fact> referenced =
+        completion->GroundAtom(ref_query.atoms().front());
+    if (!referenced.has_value()) return out;
+    QOCO_ASSIGN_OR_RETURN(
+        Reconciliation nested,
+        ReconcileInsertion(*referenced, db, depth + 1));
+    out.edits.insert(out.edits.end(), nested.edits.begin(),
+                     nested.edits.end());
+    if (!nested.admissible) return out;
+    QOCO_RETURN_NOT_OK(db->Insert(*referenced).status());
+    out.edits.push_back(Edit::Insert(*referenced));
+  }
+
+  out.admissible = true;
+  return out;
+}
+
+}  // namespace qoco::cleaning

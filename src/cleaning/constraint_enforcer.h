@@ -1,0 +1,57 @@
+#ifndef QOCO_CLEANING_CONSTRAINT_ENFORCER_H_
+#define QOCO_CLEANING_CONSTRAINT_ENFORCER_H_
+
+#include "src/cleaning/edit.h"
+#include "src/common/status.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/relational/constraints.h"
+#include "src/relational/database.h"
+
+namespace qoco::cleaning {
+
+/// Crowd-assisted constraint reconciliation (the paper's Section 9
+/// future-work direction): when the cleaner is about to insert a fact that
+/// violates a key or foreign key, the enforcer derives the extra questions
+/// and edits that restore consistency.
+///
+///  * Key conflict: the conflicting resident tuple is verified with the
+///    crowd. If it is false it is deleted (an update modeled as deletion +
+///    insertion, Section 3.1); if it is true the insertion is rejected —
+///    two true tuples cannot share a key under a sound constraint.
+///  * Dangling foreign key: the pinned columns of the required reference
+///    are known from the inserted fact; the crowd completes the remaining
+///    columns and the reference is inserted (recursively reconciled, with
+///    a depth guard).
+class ConstraintEnforcer {
+ public:
+  /// All pointers must outlive the enforcer.
+  ConstraintEnforcer(const relational::ConstraintSet* constraints,
+                     crowd::CrowdPanel* crowd)
+      : constraints_(constraints), crowd_(crowd) {}
+
+  /// Outcome of reconciling one insertion.
+  struct Reconciliation {
+    /// Whether the fact may be inserted.
+    bool admissible = false;
+    /// Edits already applied to the database to make room (conflict
+    /// deletions, completed references). The candidate fact itself is NOT
+    /// inserted by the enforcer.
+    EditList edits;
+  };
+
+  /// Checks `fact` against the constraints over `db`, interacting with
+  /// the crowd and applying repair edits as needed.
+  common::Result<Reconciliation> ReconcileInsertion(
+      const relational::Fact& fact, relational::Database* db,
+      int depth = 0);
+
+ private:
+  static constexpr int kMaxDepth = 4;
+
+  const relational::ConstraintSet* constraints_;
+  crowd::CrowdPanel* crowd_;
+};
+
+}  // namespace qoco::cleaning
+
+#endif  // QOCO_CLEANING_CONSTRAINT_ENFORCER_H_

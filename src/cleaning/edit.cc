@@ -1,0 +1,21 @@
+#include "src/cleaning/edit.h"
+
+namespace qoco::cleaning {
+
+common::Status ApplyEdits(const EditList& edits, relational::Database* db) {
+  for (const Edit& edit : edits) {
+    if (edit.kind == Edit::Kind::kInsert) {
+      QOCO_RETURN_NOT_OK(db->Insert(edit.fact).status());
+    } else {
+      QOCO_RETURN_NOT_OK(db->Erase(edit.fact).status());
+    }
+  }
+  return common::Status::OK();
+}
+
+std::string EditToString(const Edit& edit, const relational::Database& db) {
+  std::string prefix = edit.kind == Edit::Kind::kInsert ? "+" : "-";
+  return prefix + db.FactToString(edit.fact);
+}
+
+}  // namespace qoco::cleaning

@@ -1,0 +1,45 @@
+#ifndef QOCO_CLEANING_EDIT_H_
+#define QOCO_CLEANING_EDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::cleaning {
+
+/// A database edit: an insertion R(ā)+ or a deletion R(ā)- (Section 3.1).
+/// Edits are idempotent: inserting an existing fact or deleting a missing
+/// one leaves the database unchanged.
+struct Edit {
+  enum class Kind { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  relational::Fact fact;
+
+  static Edit Insert(relational::Fact f) {
+    return Edit{Kind::kInsert, std::move(f)};
+  }
+  static Edit Delete(relational::Fact f) {
+    return Edit{Kind::kDelete, std::move(f)};
+  }
+
+  friend bool operator==(const Edit& a, const Edit& b) {
+    return a.kind == b.kind && a.fact == b.fact;
+  }
+};
+
+/// A sequence of edits e1, ..., ek; D' = D ⊕ e1 ⊕ ... ⊕ ek.
+using EditList = std::vector<Edit>;
+
+/// Applies `edits` to `db` in order. Fails on schema violations only.
+common::Status ApplyEdits(const EditList& edits, relational::Database* db);
+
+/// Renders an edit as "+Rel(a, b)" / "-Rel(a, b)".
+std::string EditToString(const Edit& edit, const relational::Database& db);
+
+}  // namespace qoco::cleaning
+
+#endif  // QOCO_CLEANING_EDIT_H_

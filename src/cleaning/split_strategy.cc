@@ -1,0 +1,133 @@
+#include "src/cleaning/split_strategy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/graph.h"
+#include "src/provenance/whynot.h"
+
+namespace qoco::cleaning {
+
+namespace {
+
+std::vector<query::CQuery> MakeParts(const query::CQuery& q,
+                                     const std::vector<size_t>& first,
+                                     const std::vector<size_t>& second) {
+  return {q.Subquery(first), q.Subquery(second)};
+}
+
+std::vector<query::CQuery> BalancedSplit(const query::CQuery& q) {
+  size_t n = q.atoms().size();
+  std::vector<size_t> first, second;
+  for (size_t i = 0; i < n; ++i) {
+    (i < (n + 1) / 2 ? first : second).push_back(i);
+  }
+  return MakeParts(q, first, second);
+}
+
+std::vector<query::CQuery> RandomSplit(const query::CQuery& q,
+                                       common::Rng* rng) {
+  size_t n = q.atoms().size();
+  // Random bipartition with both sides non-empty.
+  std::vector<size_t> first, second;
+  do {
+    first.clear();
+    second.clear();
+    for (size_t i = 0; i < n; ++i) {
+      (rng->Chance(0.5) ? first : second).push_back(i);
+    }
+  } while (first.empty() || second.empty());
+  return MakeParts(q, first, second);
+}
+
+/// The query graph of Section 5.2: vertices are the body atoms; the weight
+/// of edge {i, j} is the number of variables occurring in both atoms plus
+/// the number of inequality atoms relating a variable of i to a variable
+/// of j.
+graph::WeightedGraph BuildQueryGraph(const query::CQuery& q) {
+  size_t n = q.atoms().size();
+  graph::WeightedGraph g(n);
+  std::vector<std::set<query::VarId>> vars(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<query::VarId> v = q.AtomVars(i);
+    vars[i] = std::set<query::VarId>(v.begin(), v.end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      int64_t weight = 0;
+      for (query::VarId v : vars[i]) {
+        if (vars[j].contains(v)) ++weight;
+      }
+      for (const query::Inequality& ineq : q.inequalities()) {
+        if (!ineq.lhs.is_variable() || !ineq.rhs.is_variable()) continue;
+        query::VarId a = ineq.lhs.var();
+        query::VarId b = ineq.rhs.var();
+        bool relates = (vars[i].contains(a) && vars[j].contains(b)) ||
+                       (vars[i].contains(b) && vars[j].contains(a));
+        if (relates) ++weight;
+      }
+      if (weight > 0) g.AddEdge(i, j, weight);
+    }
+  }
+  return g;
+}
+
+std::vector<query::CQuery> MinCutSplit(const query::CQuery& q) {
+  size_t n = q.atoms().size();
+  graph::WeightedGraph g = BuildQueryGraph(q);
+  graph::Cut cut = graph::GlobalMinCut(g);
+  std::vector<size_t> first, second;
+  for (size_t i = 0; i < n; ++i) {
+    (cut.side[i] ? first : second).push_back(i);
+  }
+  if (first.empty() || second.empty()) {
+    return BalancedSplit(q);  // Degenerate cut; should not happen for n>=2.
+  }
+  return MakeParts(q, first, second);
+}
+
+std::vector<query::CQuery> ProvenanceSplit(const query::CQuery& q,
+                                           const relational::Database& db) {
+  provenance::WhyNotAnalyzer analyzer(&db);
+  std::optional<provenance::WhyNotSplit> split = analyzer.Analyze(q);
+  if (!split.has_value() || split->first.empty() || split->second.empty()) {
+    return BalancedSplit(q);
+  }
+  return MakeParts(q, split->first, split->second);
+}
+
+}  // namespace
+
+std::vector<query::CQuery> SplitQuery(const query::CQuery& q,
+                                      const relational::Database& db,
+                                      SplitStrategy strategy,
+                                      common::Rng* rng) {
+  if (strategy == SplitStrategy::kNaive || q.atoms().size() < 2) return {};
+  switch (strategy) {
+    case SplitStrategy::kNaive:
+      return {};
+    case SplitStrategy::kRandom:
+      return RandomSplit(q, rng);
+    case SplitStrategy::kMinCut:
+      return MinCutSplit(q);
+    case SplitStrategy::kProvenance:
+      return ProvenanceSplit(q, db);
+  }
+  return {};
+}
+
+const char* SplitStrategyName(SplitStrategy strategy) {
+  switch (strategy) {
+    case SplitStrategy::kNaive:
+      return "Naive";
+    case SplitStrategy::kRandom:
+      return "Random";
+    case SplitStrategy::kMinCut:
+      return "MinCut";
+    case SplitStrategy::kProvenance:
+      return "Provenance";
+  }
+  return "?";
+}
+
+}  // namespace qoco::cleaning

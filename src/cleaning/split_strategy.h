@@ -1,0 +1,46 @@
+#ifndef QOCO_CLEANING_SPLIT_STRATEGY_H_
+#define QOCO_CLEANING_SPLIT_STRATEGY_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::cleaning {
+
+/// How Algorithm 2 splits a query into two subqueries (Section 5.2 and the
+/// baselines of Section 7.2).
+enum class SplitStrategy {
+  /// No splitting at all: fall straight through to asking the crowd for a
+  /// full witness (the upper bound in Figure 3b).
+  kNaive,
+  /// Random bipartition of the atoms (both sides non-empty).
+  kRandom,
+  /// Structure-directed: build the query graph (atoms as vertices, edge
+  /// weights = shared variables + inequalities relating the two atoms) and
+  /// split along a global minimum cut (Stoer-Wagner).
+  kMinCut,
+  /// Data-directed: run the WhyNot?-style frontier analysis over the
+  /// current database and split at the join operator responsible for
+  /// excluding the missing answer; falls back to a balanced split when the
+  /// analysis is inconclusive.
+  kProvenance,
+};
+
+/// Splits `q` into two subqueries covering all atoms (Definition 5.3 with a
+/// disjoint atom partition). Returns an empty vector when `q` has fewer
+/// than 2 atoms or the strategy is kNaive. Subqueries share q's variable
+/// table. `db` is consulted by kProvenance only; `rng` by kRandom and for
+/// tie-breaking.
+std::vector<query::CQuery> SplitQuery(const query::CQuery& q,
+                                      const relational::Database& db,
+                                      SplitStrategy strategy,
+                                      common::Rng* rng);
+
+/// Human-readable strategy name for experiment output.
+const char* SplitStrategyName(SplitStrategy strategy);
+
+}  // namespace qoco::cleaning
+
+#endif  // QOCO_CLEANING_SPLIT_STRATEGY_H_

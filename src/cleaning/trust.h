@@ -1,0 +1,59 @@
+#ifndef QOCO_CLEANING_TRUST_H_
+#define QOCO_CLEANING_TRUST_H_
+
+#include "src/common/strings.h"
+#include "src/relational/database.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::cleaning {
+
+/// Trust scores over facts, for the "least trustworthy first" deletion
+/// heuristic the paper suggests as an alternative to most-frequent
+/// (Section 4: "tuples which are least trustworthy, assuming that they
+/// have trust scores").
+class TrustModel {
+ public:
+  virtual ~TrustModel() = default;
+
+  /// Higher = more likely correct. Implementations should be
+  /// deterministic.
+  virtual double Trust(const relational::Fact& fact) const = 0;
+};
+
+/// Every fact equally trusted; makes the least-trusted policy degenerate
+/// to an arbitrary (but deterministic) order.
+class UniformTrust : public TrustModel {
+ public:
+  double Trust(const relational::Fact&) const override { return 1.0; }
+};
+
+/// Experimental stand-in for provenance-derived trust: scores correlate
+/// with actual correctness (true facts around `true_base`, false facts
+/// around `false_base`), blurred by deterministic per-fact jitter of
+/// ±noise. Models a provenance/source-reputation signal of limited
+/// fidelity.
+class NoisyGroundTruthTrust : public TrustModel {
+ public:
+  /// `ground_truth` must outlive the model.
+  NoisyGroundTruthTrust(const relational::Database* ground_truth,
+                        double noise, uint64_t seed)
+      : ground_truth_(ground_truth), noise_(noise), seed_(seed) {}
+
+  double Trust(const relational::Fact& fact) const override {
+    double base = ground_truth_->Contains(fact) ? 0.8 : 0.2;
+    // Deterministic jitter in [-noise, +noise] from the fact's hash.
+    size_t h = relational::FactHash{}(fact);
+    common::HashCombine(&h, static_cast<size_t>(seed_));
+    double unit = static_cast<double>(h % 10007) / 10006.0;  // [0, 1]
+    return base + noise_ * (2.0 * unit - 1.0);
+  }
+
+ private:
+  const relational::Database* ground_truth_;
+  double noise_;
+  uint64_t seed_;
+};
+
+}  // namespace qoco::cleaning
+
+#endif  // QOCO_CLEANING_TRUST_H_

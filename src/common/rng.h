@@ -1,0 +1,63 @@
+#ifndef QOCO_COMMON_RNG_H_
+#define QOCO_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qoco::common {
+
+/// Deterministic random number generator used everywhere randomness is
+/// needed (noise injection, random baselines, imperfect oracles).
+///
+/// All experiments are reproducible given the seed; no call site uses
+/// std::random_device or global state.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n). Precondition: n > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double Real() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return Real() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// experiment cell its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qoco::common
+
+#endif  // QOCO_COMMON_RNG_H_

@@ -1,0 +1,156 @@
+#ifndef QOCO_COMMON_STATUS_H_
+#define QOCO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qoco::common {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kParseError,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. QOCO does not throw exceptions across
+/// public API boundaries; fallible operations return Status or Result<T>.
+///
+/// The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, analogous to arrow::Result<T>.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of a non-OK Result aborts (programming error), mirroring
+/// assert-style contracts used throughout the library.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result). Implicit by design so
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status. Aborts if `status` is OK;
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      Abort("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK() when this Result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Precondition: ok().
+  const T& value() const& {
+    if (!ok()) Abort(status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) Abort(status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) Abort(status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  [[noreturn]] static void Abort(const char* what);
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const char* what);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const char* what) {
+  internal::AbortWithMessage(what);
+}
+
+/// Evaluates an expression returning Status and propagates a non-OK result.
+#define QOCO_RETURN_NOT_OK(expr)                       \
+  do {                                                 \
+    ::qoco::common::Status _qoco_status = (expr);      \
+    if (!_qoco_status.ok()) return _qoco_status;       \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define QOCO_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto QOCO_CONCAT_(_qoco_result, __LINE__) = (expr);          \
+  if (!QOCO_CONCAT_(_qoco_result, __LINE__).ok())              \
+    return QOCO_CONCAT_(_qoco_result, __LINE__).status();      \
+  lhs = std::move(QOCO_CONCAT_(_qoco_result, __LINE__)).value()
+
+#define QOCO_CONCAT_INNER_(a, b) a##b
+#define QOCO_CONCAT_(a, b) QOCO_CONCAT_INNER_(a, b)
+
+}  // namespace qoco::common
+
+#endif  // QOCO_COMMON_STATUS_H_

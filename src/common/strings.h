@@ -1,0 +1,30 @@
+#ifndef QOCO_COMMON_STRINGS_H_
+#define QOCO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qoco::common {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace qoco::common
+
+#endif  // QOCO_COMMON_STRINGS_H_

@@ -1,0 +1,41 @@
+#include "src/crowd/imperfect_oracle.h"
+
+#include <vector>
+
+namespace qoco::crowd {
+
+std::optional<query::Assignment> ImperfectOracle::Complete(
+    const query::CQuery& q, const query::Assignment& partial) {
+  std::optional<query::Assignment> correct = truth_.Complete(q, partial);
+  if (!rng_.Chance(error_rate_)) return correct;
+  if (!correct.has_value()) {
+    // Errs by inventing nothing useful; remains "unsatisfiable".
+    return std::nullopt;
+  }
+  // Corrupt one variable that the member filled in (not one that was
+  // already pinned by `partial`).
+  std::vector<query::VarId> filled;
+  for (size_t v = 0; v < correct->num_vars(); ++v) {
+    query::VarId var = static_cast<query::VarId>(v);
+    if (correct->IsBound(var) &&
+        (v >= partial.num_vars() || !partial.IsBound(var))) {
+      filled.push_back(var);
+    }
+  }
+  if (filled.empty()) return std::nullopt;
+  query::VarId victim = filled[rng_.Index(filled.size())];
+  const relational::Value& old = correct->ValueOf(victim);
+  relational::Value corrupted =
+      old.is_int() ? relational::Value(old.AsInt() + 1)
+                   : relational::Value(old.ToString() + "_x");
+  correct->Bind(victim, corrupted);
+  return correct;
+}
+
+std::optional<relational::Tuple> ImperfectOracle::MissingAnswer(
+    const query::CQuery& q, const std::vector<relational::Tuple>& current) {
+  if (rng_.Chance(error_rate_)) return std::nullopt;
+  return truth_.MissingAnswer(q, current);
+}
+
+}  // namespace qoco::crowd

@@ -1,0 +1,72 @@
+#ifndef QOCO_CROWD_IMPERFECT_ORACLE_H_
+#define QOCO_CROWD_IMPERFECT_ORACLE_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/crowd/oracle.h"
+#include "src/crowd/simulated_oracle.h"
+
+namespace qoco::crowd {
+
+/// A crowd member who knows the ground truth but errs with a fixed
+/// probability (Section 6.2's imperfect experts).
+///
+///  * Boolean questions: the answer is flipped with probability
+///    `error_rate`.
+///  * COMPL(α, Q): with probability `error_rate` the member corrupts one
+///    variable of a correct completion (or wrongly claims unsatisfiable if
+///    there is nothing to corrupt).
+///  * COMPL(Q(D)): with probability `error_rate` the member overlooks the
+///    remaining missing answers and reports the result complete.
+///
+/// All randomness is seeded, so experiments are reproducible.
+class ImperfectOracle : public Oracle {
+ public:
+  /// `ground_truth` must outlive the oracle.
+  ImperfectOracle(const relational::Database* ground_truth, double error_rate,
+                  uint64_t seed)
+      : truth_(ground_truth),
+        error_rate_(error_rate),
+        rng_(seed) {}
+
+  bool IsFactTrue(const relational::Fact& fact) override {
+    bool correct = truth_.IsFactTrue(fact);
+    return rng_.Chance(error_rate_) ? !correct : correct;
+  }
+
+  bool IsAnswerTrue(const query::CQuery& q,
+                    const relational::Tuple& t) override {
+    bool correct = truth_.IsAnswerTrue(q, t);
+    return rng_.Chance(error_rate_) ? !correct : correct;
+  }
+
+  bool IsAnswerTrue(const query::UnionQuery& q,
+                    const relational::Tuple& t) override {
+    bool correct = truth_.IsAnswerTrue(q, t);
+    return rng_.Chance(error_rate_) ? !correct : correct;
+  }
+
+  std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) override;
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) override;
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) override {
+    if (rng_.Chance(error_rate_)) return std::nullopt;
+    return truth_.MissingAnswer(q, current);
+  }
+
+ private:
+  SimulatedOracle truth_;
+  double error_rate_;
+  common::Rng rng_;
+};
+
+}  // namespace qoco::crowd
+
+#endif  // QOCO_CROWD_IMPERFECT_ORACLE_H_

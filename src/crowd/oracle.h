@@ -1,0 +1,58 @@
+#ifndef QOCO_CROWD_ORACLE_H_
+#define QOCO_CROWD_ORACLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/query/assignment.h"
+#include "src/query/query.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::crowd {
+
+/// A single crowd member. QOCO poses four kinds of questions (Sections 3.2,
+/// 5 and 6):
+///
+///  * TRUE(R(ā))?      -> IsFactTrue
+///  * TRUE(Q, t)?      -> IsAnswerTrue
+///  * COMPL(α, Q)      -> Complete (a task, not a boolean question)
+///  * COMPL(Q(D))      -> MissingAnswer (enumeration task)
+///
+/// A *perfect oracle* (SimulatedOracle) always answers according to the
+/// ground truth DG; ImperfectOracle makes seeded mistakes.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Is R(ā) a fact of the ground truth?
+  virtual bool IsFactTrue(const relational::Fact& fact) = 0;
+
+  /// Is t in Q(DG)?
+  virtual bool IsAnswerTrue(const query::CQuery& q,
+                            const relational::Tuple& t) = 0;
+
+  /// Union-query variant of TRUE(Q, t)?: is t in any disjunct's result
+  /// over DG?
+  virtual bool IsAnswerTrue(const query::UnionQuery& q,
+                            const relational::Tuple& t) = 0;
+
+  /// If `partial` is satisfiable w.r.t. Q and DG, extend it to a valid
+  /// total assignment for Q; otherwise nullopt ("do nothing").
+  virtual std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) = 0;
+
+  /// An answer of Q(DG) missing from `current`, or nullopt if the member
+  /// believes `current` covers Q(DG).
+  virtual std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) = 0;
+
+  /// Union-query variant of COMPL(Q(D)).
+  virtual std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) = 0;
+};
+
+}  // namespace qoco::crowd
+
+#endif  // QOCO_CROWD_ORACLE_H_

@@ -1,0 +1,15 @@
+#include "src/crowd/question_log.h"
+
+namespace qoco::crowd {
+
+std::string ToString(const QuestionCounts& counts) {
+  return "verify_answer=" + std::to_string(counts.verify_answer) +
+         " verify_fact=" + std::to_string(counts.verify_fact) +
+         " complete_tasks=" + std::to_string(counts.complete_tasks) +
+         " filled_vars=" + std::to_string(counts.filled_variables) +
+         " enum_tasks=" + std::to_string(counts.enumeration_tasks) +
+         " missing_answer_vars=" + std::to_string(counts.missing_answer_vars) +
+         " member_answers=" + std::to_string(counts.member_answers);
+}
+
+}  // namespace qoco::crowd

@@ -1,0 +1,65 @@
+#ifndef QOCO_CROWD_QUESTION_LOG_H_
+#define QOCO_CROWD_QUESTION_LOG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace qoco::crowd {
+
+/// Counters for crowd interaction, following the accounting of Section 7:
+///
+///  * Closed (boolean) questions count 1 each. We distinguish answer
+///    verifications TRUE(Q, t)? from tuple/fact verifications TRUE(R(ā))?
+///    because Figures 3f and 4 report them separately.
+///  * Open questions (COMPL tasks) are counted by the number of unique
+///    variables the expert supplied values for ("fill missing" in the
+///    figures).
+///  * `member_answers` counts every individual expert response; with a
+///    vote-of-3 panel one aggregated question may cost 2 or 3 member
+///    answers (Figure 4's metric).
+struct QuestionCounts {
+  size_t verify_answer = 0;
+  size_t verify_fact = 0;
+  size_t complete_tasks = 0;
+  size_t filled_variables = 0;
+  size_t enumeration_tasks = 0;
+  /// Variables supplied through COMPL(Q(D)) answers (one per distinct head
+  /// variable of each missing answer pointed out by the crowd).
+  size_t missing_answer_vars = 0;
+  size_t member_answers = 0;
+
+  /// Closed questions plus filled variables: the paper's combined cost
+  /// measure for mixed experiments.
+  size_t TotalCost() const {
+    return verify_answer + verify_fact + filled_variables;
+  }
+
+  QuestionCounts& operator+=(const QuestionCounts& other) {
+    verify_answer += other.verify_answer;
+    verify_fact += other.verify_fact;
+    complete_tasks += other.complete_tasks;
+    filled_variables += other.filled_variables;
+    enumeration_tasks += other.enumeration_tasks;
+    missing_answer_vars += other.missing_answer_vars;
+    member_answers += other.member_answers;
+    return *this;
+  }
+
+  friend QuestionCounts operator-(QuestionCounts a, const QuestionCounts& b) {
+    a.verify_answer -= b.verify_answer;
+    a.verify_fact -= b.verify_fact;
+    a.complete_tasks -= b.complete_tasks;
+    a.filled_variables -= b.filled_variables;
+    a.enumeration_tasks -= b.enumeration_tasks;
+    a.missing_answer_vars -= b.missing_answer_vars;
+    a.member_answers -= b.member_answers;
+    return a;
+  }
+};
+
+/// Renders the counts on one line for experiment output.
+std::string ToString(const QuestionCounts& counts);
+
+}  // namespace qoco::crowd
+
+#endif  // QOCO_CROWD_QUESTION_LOG_H_

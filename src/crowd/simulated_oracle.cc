@@ -1,0 +1,63 @@
+#include "src/crowd/simulated_oracle.h"
+
+#include <algorithm>
+
+namespace qoco::crowd {
+
+bool SimulatedOracle::IsAnswerTrue(const query::CQuery& q,
+                                   const relational::Tuple& t) {
+  // t ∈ Q(DG) iff the partial assignment induced by t on Q's head is
+  // satisfiable over DG; check via Q|t, which is cheaper than full
+  // evaluation.
+  auto instantiated = q.InstantiateAnswer(t);
+  if (!instantiated.ok()) return false;
+  return evaluator_.IsSatisfiable(*instantiated,
+                                  query::Assignment(q.num_vars()));
+}
+
+bool SimulatedOracle::IsAnswerTrue(const query::UnionQuery& q,
+                                   const relational::Tuple& t) {
+  for (const query::CQuery& disjunct : q.disjuncts()) {
+    if (IsAnswerTrue(disjunct, t)) return true;
+  }
+  return false;
+}
+
+std::optional<query::Assignment> SimulatedOracle::Complete(
+    const query::CQuery& q, const query::Assignment& partial) {
+  std::vector<query::Assignment> extensions =
+      evaluator_.FindExtensions(q, partial, /*limit=*/1);
+  if (extensions.empty()) return std::nullopt;
+  return std::move(extensions.front());
+}
+
+std::optional<relational::Tuple> SimulatedOracle::MissingAnswer(
+    const query::CQuery& q, const std::vector<relational::Tuple>& current) {
+  query::EvalResult truth = evaluator_.Evaluate(q);
+  std::vector<relational::Tuple> sorted_current = current;
+  std::sort(sorted_current.begin(), sorted_current.end());
+  for (const query::AnswerInfo& info : truth.answers()) {
+    if (!std::binary_search(sorted_current.begin(), sorted_current.end(),
+                            info.tuple)) {
+      return info.tuple;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<relational::Tuple> SimulatedOracle::MissingAnswer(
+    const query::UnionQuery& q,
+    const std::vector<relational::Tuple>& current) {
+  query::EvalResult truth = evaluator_.Evaluate(q);
+  std::vector<relational::Tuple> sorted_current = current;
+  std::sort(sorted_current.begin(), sorted_current.end());
+  for (const query::AnswerInfo& info : truth.answers()) {
+    if (!std::binary_search(sorted_current.begin(), sorted_current.end(),
+                            info.tuple)) {
+      return info.tuple;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qoco::crowd

@@ -1,0 +1,50 @@
+#ifndef QOCO_CROWD_SIMULATED_ORACLE_H_
+#define QOCO_CROWD_SIMULATED_ORACLE_H_
+
+#include "src/crowd/oracle.h"
+#include "src/query/evaluator.h"
+#include "src/relational/database.h"
+
+namespace qoco::crowd {
+
+/// A perfect oracle backed by the ground truth database DG. It answers
+/// every question correctly and deterministically (Section 7's "simulated
+/// perfect oracle"; the paper found real perfect experts gave identical
+/// results).
+class SimulatedOracle : public Oracle {
+ public:
+  /// `ground_truth` must outlive the oracle.
+  explicit SimulatedOracle(const relational::Database* ground_truth)
+      : ground_truth_(ground_truth), evaluator_(ground_truth) {}
+
+  bool IsFactTrue(const relational::Fact& fact) override {
+    return ground_truth_->Contains(fact);
+  }
+
+  bool IsAnswerTrue(const query::CQuery& q,
+                    const relational::Tuple& t) override;
+
+  bool IsAnswerTrue(const query::UnionQuery& q,
+                    const relational::Tuple& t) override;
+
+  std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) override;
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) override;
+
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) override;
+
+  const relational::Database& ground_truth() const { return *ground_truth_; }
+
+ private:
+  const relational::Database* ground_truth_;
+  query::Evaluator evaluator_;
+};
+
+}  // namespace qoco::crowd
+
+#endif  // QOCO_CROWD_SIMULATED_ORACLE_H_

@@ -1,0 +1,124 @@
+#include "src/exp/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/imperfect_oracle.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+
+namespace qoco::exp {
+
+namespace {
+
+double ResultDistance(const query::CQuery& q, const relational::Database& a,
+                      const relational::Database& b) {
+  query::Evaluator ea(&a);
+  query::Evaluator eb(&b);
+  std::vector<relational::Tuple> ra = ea.Evaluate(q).AnswerTuples();
+  std::vector<relational::Tuple> rb = eb.Evaluate(q).AnswerTuples();
+  std::vector<relational::Tuple> diff;
+  std::set_symmetric_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                                std::back_inserter(diff));
+  return static_cast<double>(diff.size());
+}
+
+}  // namespace
+
+common::Result<RunStats> RunExperiment(const RunSpec& spec) {
+  if (spec.query == nullptr || spec.ground_truth == nullptr ||
+      spec.dirty == nullptr) {
+    return common::Status::InvalidArgument("RunSpec pointers must be set");
+  }
+  if (spec.seeds.empty()) {
+    return common::Status::InvalidArgument("need at least one seed");
+  }
+  RunStats total;
+  for (uint64_t seed : spec.seeds) {
+    relational::Database db = *spec.dirty;
+
+    std::vector<std::unique_ptr<crowd::Oracle>> owned;
+    std::vector<crowd::Oracle*> members;
+    if (spec.expert_error_rate == 0.0 && spec.num_experts <= 1) {
+      owned.push_back(
+          std::make_unique<crowd::SimulatedOracle>(spec.ground_truth));
+    } else {
+      for (size_t i = 0; i < spec.num_experts; ++i) {
+        owned.push_back(std::make_unique<crowd::ImperfectOracle>(
+            spec.ground_truth, spec.expert_error_rate, seed * 1000003 + i));
+      }
+    }
+    for (auto& o : owned) members.push_back(o.get());
+    crowd::CrowdPanel panel(members,
+                            crowd::PanelConfig{spec.sample_size});
+
+    total.initial_db_distance +=
+        static_cast<double>(db.Distance(*spec.ground_truth));
+
+    cleaning::QocoCleaner cleaner(*spec.query, &db, &panel, spec.cleaner,
+                                  common::Rng(seed));
+    QOCO_ASSIGN_OR_RETURN(cleaning::CleanerStats stats, cleaner.Run());
+
+    const crowd::QuestionCounts& q = stats.questions;
+    total.verify_answer += static_cast<double>(q.verify_answer);
+    total.verify_fact += static_cast<double>(q.verify_fact);
+    total.filled_vars += static_cast<double>(q.filled_variables);
+    total.missing_answer_vars += static_cast<double>(q.missing_answer_vars);
+    total.enum_tasks += static_cast<double>(q.enumeration_tasks);
+    total.member_answers += static_cast<double>(q.member_answers);
+    total.wrong_removed += static_cast<double>(stats.wrong_answers_removed);
+    total.missing_added += static_cast<double>(stats.missing_answers_added);
+    total.deletion_upper += static_cast<double>(stats.deletion_upper_bound);
+    total.insertion_upper += static_cast<double>(stats.insertion_upper_bound);
+    total.final_result_distance +=
+        ResultDistance(*spec.query, db, *spec.ground_truth);
+    total.final_db_distance +=
+        static_cast<double>(db.Distance(*spec.ground_truth));
+  }
+  double n = static_cast<double>(spec.seeds.size());
+  total.verify_answer /= n;
+  total.verify_fact /= n;
+  total.filled_vars /= n;
+  total.missing_answer_vars /= n;
+  total.enum_tasks /= n;
+  total.member_answers /= n;
+  total.wrong_removed /= n;
+  total.missing_added /= n;
+  total.deletion_upper /= n;
+  total.insertion_upper /= n;
+  total.final_result_distance /= n;
+  total.initial_db_distance /= n;
+  total.final_db_distance /= n;
+  return total;
+}
+
+void PrintFigure(const std::string& title, const std::string& lower_label,
+                 const std::string& questions_label,
+                 const std::vector<BarRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-14s %-12s %12s %12s %10s %8s\n", "group", "algorithm",
+              lower_label.c_str(), questions_label.c_str(), "# avoided",
+              "total");
+  for (const BarRow& r : rows) {
+    std::printf("%-14s %-12s %12.1f %12.1f %10.1f %8.1f\n", r.group.c_str(),
+                r.algorithm.c_str(), r.lower, r.questions, r.avoided,
+                r.lower + r.questions + r.avoided);
+  }
+}
+
+void PrintTypedFigure(const std::string& title,
+                      const std::vector<TypedRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-22s %-12s %15s %14s %13s %8s\n", "group", "algorithm",
+              "verify answers", "verify tuples", "fill missing", "total");
+  for (const TypedRow& r : rows) {
+    std::printf("%-22s %-12s %15.1f %14.1f %13.1f %8.1f\n", r.group.c_str(),
+                r.algorithm.c_str(), r.verify_answers, r.verify_tuples,
+                r.fill_missing,
+                r.verify_answers + r.verify_tuples + r.fill_missing);
+  }
+}
+
+}  // namespace qoco::exp

@@ -1,0 +1,82 @@
+#ifndef QOCO_EXP_EXPERIMENT_H_
+#define QOCO_EXP_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cleaning/cleaner.h"
+#include "src/common/status.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::exp {
+
+/// One experiment cell: a query, a dirty/ground-truth database pair, a
+/// cleaner configuration and a crowd setup, executed once per seed.
+struct RunSpec {
+  const query::CQuery* query = nullptr;
+  const relational::Database* ground_truth = nullptr;
+  /// Template dirty instance; each seeded run cleans a fresh copy.
+  const relational::Database* dirty = nullptr;
+  cleaning::CleanerConfig cleaner;
+  /// Crowd: with sample_size == 1 and error_rate == 0 a single simulated
+  /// perfect oracle is used; otherwise `num_experts` imperfect experts
+  /// with majority voting over `sample_size` of them.
+  size_t num_experts = 1;
+  size_t sample_size = 1;
+  double expert_error_rate = 0.0;
+  std::vector<uint64_t> seeds = {11, 23, 37};
+};
+
+/// Seed-averaged measurements of a cell.
+struct RunStats {
+  double verify_answer = 0;
+  double verify_fact = 0;
+  double filled_vars = 0;
+  double missing_answer_vars = 0;
+  double enum_tasks = 0;
+  double member_answers = 0;
+  double wrong_removed = 0;
+  double missing_added = 0;
+  double deletion_upper = 0;
+  double insertion_upper = 0;
+  /// |Q(D') Δ Q(DG)| after cleaning; 0 means the view converged.
+  double final_result_distance = 0;
+  /// |D Δ DG| before and after, to show the base data got closer to truth.
+  double initial_db_distance = 0;
+  double final_db_distance = 0;
+};
+
+/// Runs the cell once per seed and averages.
+common::Result<RunStats> RunExperiment(const RunSpec& spec);
+
+/// A stacked-bar row in the paper's Figure 3/4 style: black (lower bound),
+/// red (questions actually asked), white (avoided vs the upper bound).
+struct BarRow {
+  std::string group;      // e.g. query name or noise level
+  std::string algorithm;  // e.g. QOCO / QOCO- / Random
+  double lower = 0;
+  double questions = 0;
+  double avoided = 0;
+};
+
+/// Prints a figure as an aligned table with totals, matching the paper's
+/// bar decomposition.
+void PrintFigure(const std::string& title, const std::string& lower_label,
+                 const std::string& questions_label,
+                 const std::vector<BarRow>& rows);
+
+/// Prints a three-way question-type breakdown (Figures 3f and 4 style).
+struct TypedRow {
+  std::string group;
+  std::string algorithm;
+  double verify_answers = 0;
+  double verify_tuples = 0;
+  double fill_missing = 0;
+};
+void PrintTypedFigure(const std::string& title,
+                      const std::vector<TypedRow>& rows);
+
+}  // namespace qoco::exp
+
+#endif  // QOCO_EXP_EXPERIMENT_H_

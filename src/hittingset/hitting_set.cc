@@ -1,0 +1,138 @@
+#include "src/hittingset/hitting_set.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qoco::hittingset {
+
+namespace {
+
+bool Hits(const std::vector<int>& set, const std::set<int>& h) {
+  for (int e : set) {
+    if (h.contains(e)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsHittingSet(const Instance& instance, const std::vector<int>& h) {
+  std::set<int> hs(h.begin(), h.end());
+  for (const auto& s : instance.sets) {
+    if (!Hits(s, hs)) return false;
+  }
+  return true;
+}
+
+bool IsMinimalHittingSet(const Instance& instance,
+                         const std::vector<int>& h) {
+  if (!IsHittingSet(instance, h)) return false;
+  std::set<int> hs(h.begin(), h.end());
+  for (int removed : h) {
+    hs.erase(removed);
+    bool still_hits = true;
+    for (const auto& s : instance.sets) {
+      if (!Hits(s, hs)) {
+        still_hits = false;
+        break;
+      }
+    }
+    hs.insert(removed);
+    if (still_hits) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<int>> UniqueMinimalHittingSet(
+    const Instance& instance) {
+  std::set<int> singleton_elements;
+  for (const auto& s : instance.sets) {
+    if (s.size() == 1) singleton_elements.insert(s.front());
+  }
+  for (const auto& s : instance.sets) {
+    if (!Hits(s, singleton_elements)) return std::nullopt;
+  }
+  return std::vector<int>(singleton_elements.begin(),
+                          singleton_elements.end());
+}
+
+int MostFrequentElement(const std::vector<std::vector<int>>& sets) {
+  std::vector<int> elements;
+  for (const auto& s : sets) {
+    for (int e : s) elements.push_back(e);
+  }
+  if (elements.empty()) return -1;
+  std::sort(elements.begin(), elements.end());
+  int best_element = -1;
+  int best_count = 0;
+  int current = elements.front();
+  int count = 0;
+  for (int e : elements) {
+    if (e == current) {
+      ++count;
+    } else {
+      if (count > best_count) {
+        best_count = count;
+        best_element = current;
+      }
+      current = e;
+      count = 1;
+    }
+  }
+  if (count > best_count) {
+    best_count = count;
+    best_element = current;
+  }
+  return best_element;
+}
+
+std::vector<int> GreedyHittingSet(const Instance& instance) {
+  std::vector<std::vector<int>> remaining = instance.sets;
+  std::vector<int> h;
+  while (!remaining.empty()) {
+    int e = MostFrequentElement(remaining);
+    h.push_back(e);
+    std::erase_if(remaining, [e](const std::vector<int>& s) {
+      return std::find(s.begin(), s.end(), e) != s.end();
+    });
+  }
+  std::sort(h.begin(), h.end());
+  return h;
+}
+
+namespace {
+
+void Branch(const std::vector<std::vector<int>>& sets, size_t set_index,
+            std::set<int>* current, std::vector<int>* best) {
+  if (!best->empty() && current->size() >= best->size()) return;  // prune
+  // Find the next unhit set.
+  while (set_index < sets.size() && Hits(sets[set_index], *current)) {
+    ++set_index;
+  }
+  if (set_index == sets.size()) {
+    if (best->empty() || current->size() < best->size()) {
+      best->assign(current->begin(), current->end());
+    }
+    return;
+  }
+  for (int e : sets[set_index]) {
+    if (current->contains(e)) continue;
+    current->insert(e);
+    Branch(sets, set_index + 1, current, best);
+    current->erase(e);
+  }
+}
+
+}  // namespace
+
+std::vector<int> ExactMinimumHittingSet(const Instance& instance) {
+  if (instance.sets.empty()) return {};
+  // Seed the bound with the greedy solution (always a valid hitting set).
+  std::vector<int> best = GreedyHittingSet(instance);
+  std::set<int> current;
+  Branch(instance.sets, 0, &current, &best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+}  // namespace qoco::hittingset

@@ -1,0 +1,46 @@
+#include "src/provenance/whynot.h"
+
+#include <numeric>
+
+namespace qoco::provenance {
+
+std::optional<WhyNotSplit> WhyNotAnalyzer::Analyze(
+    const query::CQuery& q) const {
+  size_t n = q.atoms().size();
+  if (n < 2) return std::nullopt;
+
+  // Find the longest satisfiable prefix of the left-deep plan. kNoFrontier
+  // means every prefix (including the full query) has assignments.
+  const size_t kNoFrontier = n + 1;
+  size_t frontier = kNoFrontier;
+  for (size_t k = 1; k <= n; ++k) {
+    std::vector<size_t> indices(k);
+    std::iota(indices.begin(), indices.end(), 0);
+    query::CQuery sub = q.Subquery(indices);
+    if (!evaluator_.IsSatisfiable(sub, query::Assignment(q.num_vars()))) {
+      frontier = k;
+      break;
+    }
+  }
+  if (frontier == kNoFrontier) {
+    return std::nullopt;  // The full query has answers; nothing to explain.
+  }
+
+  WhyNotSplit split;
+  if (frontier == 1) {
+    // The very first scan is empty: blame the operator joining atom 0 with
+    // the rest.
+    split.first = {0};
+    for (size_t i = 1; i < n; ++i) split.second.push_back(i);
+  } else {
+    // Atoms [0, frontier) join fine; adding atom frontier-? kills the
+    // result. frontier here is the smallest k with an empty prefix, so the
+    // satisfiable prefix is [0, frontier-1) plus the blamed atom at
+    // frontier-1; split between them.
+    for (size_t i = 0; i < frontier - 1; ++i) split.first.push_back(i);
+    for (size_t i = frontier - 1; i < n; ++i) split.second.push_back(i);
+  }
+  return split;
+}
+
+}  // namespace qoco::provenance

@@ -1,0 +1,47 @@
+#ifndef QOCO_PROVENANCE_WHYNOT_H_
+#define QOCO_PROVENANCE_WHYNOT_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/query/evaluator.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::provenance {
+
+/// An atom bipartition produced by the WhyNot? analysis: the join of the
+/// two groups is the manipulation operation responsible for excluding the
+/// missing answer (both groups have valid assignments; their join has
+/// none).
+struct WhyNotSplit {
+  std::vector<size_t> first;   // atom indices of O1
+  std::vector<size_t> second;  // atom indices of O2
+};
+
+/// Operator-level "why no answers?" analysis in the spirit of Tran & Chan's
+/// WhyNot? [60], specialized to what QOCO consumes (Section 5.2): given a
+/// query Q (typically Q|t or one of its subqueries) whose result over D is
+/// empty, walk a left-deep join plan over Q's atoms in body order and find
+/// the *picking frontier* — the first join whose addition filters out all
+/// remaining assignments. The returned split separates the satisfiable
+/// prefix from the rest.
+class WhyNotAnalyzer {
+ public:
+  /// `db` must outlive the analyzer.
+  explicit WhyNotAnalyzer(const relational::Database* db)
+      : db_(db), evaluator_(db) {}
+
+  /// Returns the frontier split, or nullopt when no join operator is to
+  /// blame: the query has fewer than 2 atoms, or it actually has results
+  /// (nothing to explain).
+  std::optional<WhyNotSplit> Analyze(const query::CQuery& q) const;
+
+ private:
+  const relational::Database* db_;
+  query::Evaluator evaluator_;
+};
+
+}  // namespace qoco::provenance
+
+#endif  // QOCO_PROVENANCE_WHYNOT_H_

@@ -1,0 +1,37 @@
+#include "src/provenance/witness.h"
+
+#include <algorithm>
+
+namespace qoco::provenance {
+
+Witness::Witness(std::vector<relational::Fact> facts)
+    : facts_(std::move(facts)) {
+  std::sort(facts_.begin(), facts_.end());
+  facts_.erase(std::unique(facts_.begin(), facts_.end()), facts_.end());
+}
+
+bool Witness::Contains(const relational::Fact& fact) const {
+  return std::binary_search(facts_.begin(), facts_.end(), fact);
+}
+
+std::string Witness::ToString(const relational::Database& db) const {
+  std::string out = "{";
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += db.FactToString(facts_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<relational::Fact> DistinctFacts(const WitnessSet& witnesses) {
+  std::vector<relational::Fact> all;
+  for (const Witness& w : witnesses) {
+    all.insert(all.end(), w.facts().begin(), w.facts().end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace qoco::provenance

@@ -1,0 +1,54 @@
+#ifndef QOCO_PROVENANCE_WITNESS_H_
+#define QOCO_PROVENANCE_WITNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/relational/database.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::provenance {
+
+/// A witness for a valid assignment α of query Q w.r.t. database D: the set
+/// of facts in α(body(Q)). Stored sorted and deduplicated so witnesses can
+/// be compared for equality.
+class Witness {
+ public:
+  Witness() = default;
+
+  /// Builds a witness from facts (sorts and dedups).
+  explicit Witness(std::vector<relational::Fact> facts);
+
+  const std::vector<relational::Fact>& facts() const { return facts_; }
+  size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+
+  /// True iff the witness contains `fact`.
+  bool Contains(const relational::Fact& fact) const;
+
+  friend bool operator==(const Witness& a, const Witness& b) {
+    return a.facts_ == b.facts_;
+  }
+  friend bool operator<(const Witness& a, const Witness& b) {
+    return a.facts_ < b.facts_;
+  }
+
+  /// Renders as "{R(a, b), S(c)}".
+  std::string ToString(const relational::Database& db) const;
+
+ private:
+  std::vector<relational::Fact> facts_;
+};
+
+/// The why-provenance of an answer t: the set of (distinct) witnesses for
+/// the assignments in A(t, Q, D).
+using WitnessSet = std::vector<Witness>;
+
+/// Distinct facts appearing across `witnesses`, sorted. This is the
+/// universe of the hitting-set instance in Section 4 and the upper bound on
+/// verification questions (the naive algorithm verifies each of them).
+std::vector<relational::Fact> DistinctFacts(const WitnessSet& witnesses);
+
+}  // namespace qoco::provenance
+
+#endif  // QOCO_PROVENANCE_WITNESS_H_

@@ -1,0 +1,90 @@
+#include "src/query/assignment.h"
+
+namespace qoco::query {
+
+size_t Assignment::NumBound() const {
+  size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) ++count;
+  }
+  return count;
+}
+
+std::optional<relational::Value> Assignment::Resolve(const Term& term) const {
+  if (term.is_constant()) return term.constant();
+  const auto& slot = slots_[static_cast<size_t>(term.var())];
+  if (!slot.has_value()) return std::nullopt;
+  return *slot;
+}
+
+bool Assignment::BindsAll(const std::vector<VarId>& vars) const {
+  for (VarId v : vars) {
+    if (!IsBound(v)) return false;
+  }
+  return true;
+}
+
+std::optional<relational::Fact> Assignment::GroundAtom(
+    const Atom& atom) const {
+  relational::Fact fact;
+  fact.relation = atom.relation;
+  fact.tuple.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    std::optional<relational::Value> v = Resolve(term);
+    if (!v.has_value()) return std::nullopt;
+    fact.tuple.push_back(std::move(*v));
+  }
+  return fact;
+}
+
+std::optional<bool> Assignment::CheckInequality(const Inequality& ineq) const {
+  std::optional<relational::Value> lhs = Resolve(ineq.lhs);
+  std::optional<relational::Value> rhs = Resolve(ineq.rhs);
+  if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+  return *lhs != *rhs;
+}
+
+std::optional<relational::Tuple> Assignment::ApplyHead(
+    const std::vector<Term>& head) const {
+  relational::Tuple tuple;
+  tuple.reserve(head.size());
+  for (const Term& term : head) {
+    std::optional<relational::Value> v = Resolve(term);
+    if (!v.has_value()) return std::nullopt;
+    tuple.push_back(std::move(*v));
+  }
+  return tuple;
+}
+
+bool Assignment::CompatibleWith(const Assignment& other) const {
+  size_t n = std::min(slots_.size(), other.slots_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (slots_[i].has_value() && other.slots_[i].has_value() &&
+        *slots_[i] != *other.slots_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Assignment::MergeFrom(const Assignment& other) {
+  for (size_t i = 0; i < other.slots_.size() && i < slots_.size(); ++i) {
+    if (other.slots_[i].has_value()) slots_[i] = other.slots_[i];
+  }
+}
+
+std::string Assignment::ToString(const CQuery& query) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += query.var_name(static_cast<VarId>(i)) + " -> " +
+           slots_[i]->ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace qoco::query

@@ -1,0 +1,86 @@
+#ifndef QOCO_QUERY_ASSIGNMENT_H_
+#define QOCO_QUERY_ASSIGNMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/relational/tuple.h"
+#include "src/query/query.h"
+#include "src/query/term.h"
+
+namespace qoco::query {
+
+/// A (partial) assignment α : Var(Q) → C.
+///
+/// Slots are indexed by VarId over a query's variable table; unbound slots
+/// are disengaged. A *total* assignment for query Q binds every variable
+/// occurring in Q's relational atoms; an assignment is *valid* w.r.t. a
+/// database D if every ground body atom is a fact of D and every inequality
+/// holds (see Evaluator); it is *satisfiable* if it extends to a valid total
+/// assignment.
+class Assignment {
+ public:
+  /// Constructs the empty assignment over `num_vars` variables.
+  explicit Assignment(size_t num_vars) : slots_(num_vars) {}
+
+  size_t num_vars() const { return slots_.size(); }
+
+  bool IsBound(VarId v) const {
+    return slots_[static_cast<size_t>(v)].has_value();
+  }
+
+  /// The bound value. Precondition: IsBound(v).
+  const relational::Value& ValueOf(VarId v) const {
+    return *slots_[static_cast<size_t>(v)];
+  }
+
+  void Bind(VarId v, relational::Value value) {
+    slots_[static_cast<size_t>(v)] = std::move(value);
+  }
+
+  void Unbind(VarId v) { slots_[static_cast<size_t>(v)].reset(); }
+
+  /// Number of bound variables.
+  size_t NumBound() const;
+
+  /// Resolves a term: the constant itself, the bound value, or nullopt for
+  /// an unbound variable.
+  std::optional<relational::Value> Resolve(const Term& term) const;
+
+  /// True if every variable in `vars` is bound.
+  bool BindsAll(const std::vector<VarId>& vars) const;
+
+  /// Grounds `atom` into a fact if all its terms resolve, else nullopt.
+  std::optional<relational::Fact> GroundAtom(const Atom& atom) const;
+
+  /// Evaluates an inequality under this assignment: true/false if both
+  /// sides resolve, nullopt otherwise.
+  std::optional<bool> CheckInequality(const Inequality& ineq) const;
+
+  /// Applies the assignment to head terms, producing the answer tuple;
+  /// nullopt if some head variable is unbound.
+  std::optional<relational::Tuple> ApplyHead(
+      const std::vector<Term>& head) const;
+
+  /// True if this and `other` agree on every variable bound in both.
+  bool CompatibleWith(const Assignment& other) const;
+
+  /// Copies every binding of `other` into this assignment (later wins on
+  /// conflict; use CompatibleWith first when that matters).
+  void MergeFrom(const Assignment& other);
+
+  /// Renders bound variables as "{x -> GER, d1 -> 13.07.14}".
+  std::string ToString(const CQuery& query) const;
+
+  friend bool operator==(const Assignment& a, const Assignment& b) {
+    return a.slots_ == b.slots_;
+  }
+
+ private:
+  std::vector<std::optional<relational::Value>> slots_;
+};
+
+}  // namespace qoco::query
+
+#endif  // QOCO_QUERY_ASSIGNMENT_H_

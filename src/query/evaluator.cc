@@ -1,0 +1,266 @@
+#include "src/query/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace qoco::query {
+
+namespace {
+
+using relational::Database;
+using relational::Relation;
+using relational::Tuple;
+using relational::Value;
+
+/// Backtracking join state.
+class Search {
+ public:
+  Search(const CQuery& q, const Database& db, Assignment binding,
+         size_t limit, std::vector<Assignment>* out)
+      : q_(q),
+        db_(db),
+        binding_(std::move(binding)),
+        limit_(limit),
+        out_(out),
+        atom_done_(q.atoms().size(), false) {}
+
+  void Run() {
+    if (!InequalitiesHold()) return;
+    Recurse(q_.atoms().size());
+  }
+
+ private:
+  bool Done() const { return limit_ != 0 && out_->size() >= limit_; }
+
+  /// Checks every inequality whose both sides currently resolve.
+  bool InequalitiesHold() const {
+    for (const Inequality& ineq : q_.inequalities()) {
+      std::optional<bool> holds = binding_.CheckInequality(ineq);
+      if (holds.has_value() && !*holds) return false;
+    }
+    return true;
+  }
+
+  /// Number of argument positions of atom `idx` that resolve now, plus an
+  /// estimated candidate count for expanding it.
+  struct AtomScore {
+    size_t bound_positions = 0;
+    size_t candidates = std::numeric_limits<size_t>::max();
+    // The bound column with the fewest matching rows (or npos if none).
+    size_t probe_column = static_cast<size_t>(-1);
+    Value probe_value;
+  };
+
+  AtomScore ScoreAtom(size_t idx) const {
+    const Atom& atom = q_.atoms()[idx];
+    const Relation& rel = db_.relation(atom.relation);
+    AtomScore score;
+    score.candidates = rel.size();
+    for (size_t col = 0; col < atom.terms.size(); ++col) {
+      std::optional<Value> v = binding_.Resolve(atom.terms[col]);
+      if (!v.has_value()) continue;
+      ++score.bound_positions;
+      size_t rows = rel.RowsWithValue(col, *v).size();
+      if (rows < score.candidates) {
+        score.candidates = rows;
+        score.probe_column = col;
+        score.probe_value = *v;
+      }
+    }
+    return score;
+  }
+
+  void Recurse(size_t remaining) {
+    if (Done()) return;
+    if (remaining == 0) {
+      out_->push_back(binding_);
+      return;
+    }
+    // Pick the most constrained pending atom.
+    size_t best = static_cast<size_t>(-1);
+    AtomScore best_score;
+    for (size_t i = 0; i < atom_done_.size(); ++i) {
+      if (atom_done_[i]) continue;
+      AtomScore score = ScoreAtom(i);
+      bool better;
+      if (best == static_cast<size_t>(-1)) {
+        better = true;
+      } else if (score.bound_positions != best_score.bound_positions) {
+        better = score.bound_positions > best_score.bound_positions;
+      } else {
+        better = score.candidates < best_score.candidates;
+      }
+      if (better) {
+        best = i;
+        best_score = score;
+      }
+    }
+
+    const Atom& atom = q_.atoms()[best];
+    const Relation& rel = db_.relation(atom.relation);
+    atom_done_[best] = true;
+
+    auto try_row = [&](const Tuple& row) {
+      if (Done()) return;
+      std::vector<VarId> newly_bound;
+      if (Unify(atom, row, &newly_bound)) {
+        if (InequalitiesHold()) Recurse(remaining - 1);
+      }
+      for (VarId v : newly_bound) binding_.Unbind(v);
+    };
+
+    if (best_score.probe_column != static_cast<size_t>(-1)) {
+      // Index probe on the most selective bound column. Copy the row list:
+      // the index reference is invalidated if recursion rebuilds indexes.
+      std::vector<uint32_t> positions =
+          rel.RowsWithValue(best_score.probe_column, best_score.probe_value);
+      for (uint32_t pos : positions) {
+        try_row(rel.rows()[pos]);
+        if (Done()) break;
+      }
+    } else {
+      for (const Tuple& row : rel.rows()) {
+        try_row(row);
+        if (Done()) break;
+      }
+    }
+
+    atom_done_[best] = false;
+  }
+
+  /// Extends binding_ to match `row` against `atom`; records vars bound by
+  /// this call so the caller can undo them. Returns false on mismatch
+  /// (bindings recorded so far are still returned for undo).
+  bool Unify(const Atom& atom, const Tuple& row,
+             std::vector<VarId>* newly_bound) {
+    for (size_t col = 0; col < atom.terms.size(); ++col) {
+      const Term& term = atom.terms[col];
+      if (term.is_constant()) {
+        if (term.constant() != row[col]) return false;
+        continue;
+      }
+      VarId v = term.var();
+      if (binding_.IsBound(v)) {
+        if (binding_.ValueOf(v) != row[col]) return false;
+      } else {
+        binding_.Bind(v, row[col]);
+        newly_bound->push_back(v);
+      }
+    }
+    return true;
+  }
+
+  const CQuery& q_;
+  const Database& db_;
+  Assignment binding_;
+  size_t limit_;
+  std::vector<Assignment>* out_;
+  std::vector<bool> atom_done_;
+};
+
+}  // namespace
+
+bool EvalResult::ContainsAnswer(const relational::Tuple& t) const {
+  return Find(t) != nullptr;
+}
+
+const AnswerInfo* EvalResult::Find(const relational::Tuple& t) const {
+  auto it = std::lower_bound(
+      answers_.begin(), answers_.end(), t,
+      [](const AnswerInfo& a, const relational::Tuple& key) {
+        return a.tuple < key;
+      });
+  if (it == answers_.end() || it->tuple != t) return nullptr;
+  return &*it;
+}
+
+std::vector<relational::Tuple> EvalResult::AnswerTuples() const {
+  std::vector<relational::Tuple> tuples;
+  tuples.reserve(answers_.size());
+  for (const AnswerInfo& a : answers_) tuples.push_back(a.tuple);
+  return tuples;
+}
+
+EvalResult Evaluator::Evaluate(const CQuery& q) const {
+  EvalResult result;
+  std::vector<Assignment> assignments =
+      FindExtensions(q, Assignment(q.num_vars()), /*limit=*/0);
+  for (Assignment& a : assignments) {
+    std::optional<relational::Tuple> answer = a.ApplyHead(q.head());
+    if (!answer.has_value()) continue;  // Unsafe head; cannot happen via Make.
+    auto it = std::lower_bound(
+        result.answers_.begin(), result.answers_.end(), *answer,
+        [](const AnswerInfo& info, const relational::Tuple& key) {
+          return info.tuple < key;
+        });
+    if (it == result.answers_.end() || it->tuple != *answer) {
+      it = result.answers_.insert(it, AnswerInfo{*answer, {}, {}});
+    }
+    provenance::Witness w = WitnessFor(q, a);
+    if (std::find(it->witnesses.begin(), it->witnesses.end(), w) ==
+        it->witnesses.end()) {
+      it->witnesses.push_back(std::move(w));
+    }
+    it->assignments.push_back(std::move(a));
+  }
+  return result;
+}
+
+EvalResult Evaluator::Evaluate(const UnionQuery& q) const {
+  EvalResult merged;
+  for (const CQuery& disjunct : q.disjuncts()) {
+    EvalResult part = Evaluate(disjunct);
+    for (AnswerInfo& info : part.answers_) {
+      auto it = std::lower_bound(
+          merged.answers_.begin(), merged.answers_.end(), info.tuple,
+          [](const AnswerInfo& a, const relational::Tuple& key) {
+            return a.tuple < key;
+          });
+      if (it == merged.answers_.end() || it->tuple != info.tuple) {
+        merged.answers_.insert(it, std::move(info));
+      } else {
+        for (provenance::Witness& w : info.witnesses) {
+          if (std::find(it->witnesses.begin(), it->witnesses.end(), w) ==
+              it->witnesses.end()) {
+            it->witnesses.push_back(std::move(w));
+          }
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
+                                                  const Assignment& partial,
+                                                  size_t limit) const {
+  std::vector<Assignment> out;
+  Assignment binding = partial;
+  if (binding.num_vars() < q.num_vars()) {
+    // Widen to the query's variable space.
+    Assignment widened(q.num_vars());
+    widened.MergeFrom(partial);
+    binding = std::move(widened);
+  }
+  Search search(q, *db_, std::move(binding), limit, &out);
+  search.Run();
+  return out;
+}
+
+bool Evaluator::IsSatisfiable(const CQuery& q,
+                              const Assignment& partial) const {
+  return !FindExtensions(q, partial, /*limit=*/1).empty();
+}
+
+provenance::Witness Evaluator::WitnessFor(const CQuery& q,
+                                          const Assignment& a) {
+  std::vector<relational::Fact> facts;
+  facts.reserve(q.atoms().size());
+  for (const Atom& atom : q.atoms()) {
+    std::optional<relational::Fact> fact = a.GroundAtom(atom);
+    if (fact.has_value()) facts.push_back(std::move(*fact));
+  }
+  return provenance::Witness(std::move(facts));
+}
+
+}  // namespace qoco::query

@@ -1,0 +1,59 @@
+#ifndef QOCO_QUERY_TERM_H_
+#define QOCO_QUERY_TERM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/relational/value.h"
+
+namespace qoco::query {
+
+/// Index of a variable within a query's variable table.
+using VarId = int32_t;
+
+/// A term in a query atom: either a variable or a constant.
+///
+/// Queries over the vocabulary V (variables) and C (constants) use terms in
+/// atom argument positions, in inequality sides, and in the head.
+class Term {
+ public:
+  /// Builds a variable term.
+  static Term MakeVar(VarId var) {
+    Term t;
+    t.var_ = var;
+    return t;
+  }
+
+  /// Builds a constant term.
+  static Term MakeConst(relational::Value value) {
+    Term t;
+    t.constant_ = std::move(value);
+    return t;
+  }
+
+  bool is_variable() const { return var_ >= 0; }
+  bool is_constant() const { return var_ < 0; }
+
+  /// The variable id. Precondition: is_variable().
+  VarId var() const { return var_; }
+
+  /// The constant value. Precondition: is_constant().
+  const relational::Value& constant() const { return constant_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.var_ != b.var_) return false;
+    if (a.is_variable()) return true;
+    return a.constant_ == b.constant_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Term() = default;
+
+  VarId var_ = -1;
+  relational::Value constant_;
+};
+
+}  // namespace qoco::query
+
+#endif  // QOCO_QUERY_TERM_H_

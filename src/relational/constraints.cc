@@ -1,0 +1,143 @@
+#include "src/relational/constraints.h"
+
+#include <map>
+
+namespace qoco::relational {
+
+namespace {
+
+common::Status ValidateColumns(const Catalog& catalog, RelationId relation,
+                               const std::vector<size_t>& columns) {
+  if (!catalog.IsValid(relation)) {
+    return common::Status::InvalidArgument("invalid relation id " +
+                                           std::to_string(relation));
+  }
+  if (columns.empty()) {
+    return common::Status::InvalidArgument("column list must be non-empty");
+  }
+  size_t arity = catalog.schema(relation).arity();
+  for (size_t c : columns) {
+    if (c >= arity) {
+      return common::Status::InvalidArgument(
+          "column index " + std::to_string(c) + " out of range for '" +
+          catalog.relation_name(relation) + "'");
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Status ConstraintSet::AddKey(KeyConstraint key) {
+  QOCO_RETURN_NOT_OK(ValidateColumns(*catalog_, key.relation,
+                                     key.key_columns));
+  keys_.push_back(std::move(key));
+  return common::Status::OK();
+}
+
+common::Status ConstraintSet::AddForeignKey(ForeignKeyConstraint fk) {
+  QOCO_RETURN_NOT_OK(
+      ValidateColumns(*catalog_, fk.referencing, fk.referencing_columns));
+  QOCO_RETURN_NOT_OK(
+      ValidateColumns(*catalog_, fk.referenced, fk.referenced_columns));
+  if (fk.referencing_columns.size() != fk.referenced_columns.size()) {
+    return common::Status::InvalidArgument(
+        "foreign key column lists must pair up");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return common::Status::OK();
+}
+
+std::vector<Fact> ConstraintSet::KeyConflicts(const Database& db,
+                                              const Fact& fact) const {
+  std::vector<Fact> conflicts;
+  for (const KeyConstraint& key : keys_) {
+    if (key.relation != fact.relation) continue;
+    // Probe on the first key column, filter on the rest.
+    const Relation& rel = db.relation(key.relation);
+    for (uint32_t pos : rel.RowsWithValue(
+             key.key_columns.front(),
+             fact.tuple[key.key_columns.front()])) {
+      const Tuple& row = rel.rows()[pos];
+      bool same_key = true;
+      for (size_t c : key.key_columns) {
+        if (row[c] != fact.tuple[c]) {
+          same_key = false;
+          break;
+        }
+      }
+      if (same_key && row != fact.tuple) {
+        conflicts.push_back(Fact{key.relation, row});
+      }
+    }
+  }
+  return conflicts;
+}
+
+std::vector<MissingReference> ConstraintSet::MissingReferences(
+    const Database& db, const Fact& fact) const {
+  std::vector<MissingReference> missing;
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    if (fk.referencing != fact.relation) continue;
+    const Relation& target = db.relation(fk.referenced);
+    // Does any target row agree on all paired columns?
+    bool found = false;
+    for (uint32_t pos : target.RowsWithValue(
+             fk.referenced_columns.front(),
+             fact.tuple[fk.referencing_columns.front()])) {
+      const Tuple& row = target.rows()[pos];
+      bool all_match = true;
+      for (size_t i = 0; i < fk.referenced_columns.size(); ++i) {
+        if (row[fk.referenced_columns[i]] !=
+            fact.tuple[fk.referencing_columns[i]]) {
+          all_match = false;
+          break;
+        }
+      }
+      if (all_match) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    MissingReference ref;
+    ref.relation = fk.referenced;
+    ref.pinned.assign(catalog_->schema(fk.referenced).arity(), std::nullopt);
+    for (size_t i = 0; i < fk.referenced_columns.size(); ++i) {
+      ref.pinned[fk.referenced_columns[i]] =
+          fact.tuple[fk.referencing_columns[i]];
+    }
+    missing.push_back(std::move(ref));
+  }
+  return missing;
+}
+
+common::Status ConstraintSet::Validate(const Database& db) const {
+  for (const KeyConstraint& key : keys_) {
+    std::map<Tuple, const Tuple*> seen;
+    for (const Tuple& row : db.relation(key.relation).rows()) {
+      Tuple key_values;
+      for (size_t c : key.key_columns) key_values.push_back(row[c]);
+      auto [it, inserted] = seen.emplace(std::move(key_values), &row);
+      if (!inserted) {
+        return common::Status::FailedPrecondition(
+            "key violation in '" + catalog_->relation_name(key.relation) +
+            "': " + TupleToString(*it->second) + " vs " + TupleToString(row));
+      }
+    }
+  }
+  for (const ForeignKeyConstraint& fk : foreign_keys_) {
+    for (const Tuple& row : db.relation(fk.referencing).rows()) {
+      Fact fact{fk.referencing, row};
+      if (!MissingReferences(db, fact).empty()) {
+        return common::Status::FailedPrecondition(
+            "dangling foreign key from '" +
+            catalog_->relation_name(fk.referencing) + "' row " +
+            TupleToString(row));
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace qoco::relational

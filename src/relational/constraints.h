@@ -1,0 +1,83 @@
+#ifndef QOCO_RELATIONAL_CONSTRAINTS_H_
+#define QOCO_RELATIONAL_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/schema.h"
+
+namespace qoco::relational {
+
+/// A key constraint: within `relation`, no two tuples agree on all
+/// `key_columns`.
+struct KeyConstraint {
+  RelationId relation = kInvalidRelation;
+  std::vector<size_t> key_columns;
+};
+
+/// A foreign key: every tuple of `referencing` must have a tuple of
+/// `referenced` agreeing on the paired columns.
+struct ForeignKeyConstraint {
+  RelationId referencing = kInvalidRelation;
+  std::vector<size_t> referencing_columns;
+  RelationId referenced = kInvalidRelation;
+  std::vector<size_t> referenced_columns;
+};
+
+/// A reference required by a foreign key but absent from the database: the
+/// referenced relation plus the column values pinned by the referencing
+/// fact (the remaining columns are unknown and must be completed, e.g. by
+/// the crowd).
+struct MissingReference {
+  RelationId relation = kInvalidRelation;
+  /// One entry per column of the referenced relation; disengaged entries
+  /// are unknown.
+  std::vector<std::optional<Value>> pinned;
+};
+
+/// A set of key and foreign-key constraints over a catalog (the paper's
+/// Section 9 future-work direction: cleaning in the presence of
+/// dependencies among tuples).
+class ConstraintSet {
+ public:
+  /// The catalog must outlive the set.
+  explicit ConstraintSet(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Registers a key. Fails on bad relation ids / column indexes, or an
+  /// empty column list.
+  common::Status AddKey(KeyConstraint key);
+
+  /// Registers a foreign key. Fails on bad ids, mismatched column counts,
+  /// or empty column lists.
+  common::Status AddForeignKey(ForeignKeyConstraint fk);
+
+  const std::vector<KeyConstraint>& keys() const { return keys_; }
+  const std::vector<ForeignKeyConstraint>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// Existing facts of `db` that would violate a key constraint together
+  /// with `fact` (same key values, different tuple).
+  std::vector<Fact> KeyConflicts(const Database& db, const Fact& fact) const;
+
+  /// References required by `fact` under the foreign keys but absent from
+  /// `db`.
+  std::vector<MissingReference> MissingReferences(const Database& db,
+                                                  const Fact& fact) const;
+
+  /// Checks the whole database; returns OK or FailedPrecondition with a
+  /// description of the first violation found.
+  common::Status Validate(const Database& db) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<KeyConstraint> keys_;
+  std::vector<ForeignKeyConstraint> foreign_keys_;
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_CONSTRAINTS_H_

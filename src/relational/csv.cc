@@ -1,0 +1,191 @@
+#include "src/relational/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace qoco::relational {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  // Quote strings that would otherwise round-trip as numbers.
+  char* end = nullptr;
+  errno = 0;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && errno == 0;
+}
+
+std::string EncodeFieldImpl(const Value& v) {
+  if (!v.is_string()) return v.ToString();
+  const std::string& s = v.AsString();
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+common::Status SplitRecordImpl(std::string_view line,
+                               std::vector<std::string>* fields,
+                               std::vector<bool>* was_quoted) {
+  fields->clear();
+  was_quoted->clear();
+  std::string current;
+  bool quoted = false;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      was_quoted->push_back(quoted);
+      current.clear();
+      quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return common::Status::ParseError("unterminated quote in CSV record");
+  }
+  fields->push_back(std::move(current));
+  was_quoted->push_back(quoted);
+  return common::Status::OK();
+}
+
+Value ParseFieldImpl(const std::string& raw, bool quoted) {
+  if (quoted) return Value(raw);
+  if (raw.empty()) return Value(std::string());
+  char* end = nullptr;
+  errno = 0;
+  long long as_int = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() + raw.size() && errno == 0) {
+    return Value(static_cast<int64_t>(as_int));
+  }
+  errno = 0;
+  double as_double = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() + raw.size() && errno == 0) {
+    return Value(as_double);
+  }
+  return Value(raw);
+}
+
+}  // namespace
+
+std::string RelationToCsv(const Database& db, RelationId id) {
+  const RelationSchema& schema = db.catalog().schema(id);
+  std::string out = common::Join(schema.attributes, ",");
+  out += "\n";
+  for (const Tuple& t : db.relation(id).rows()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ",";
+      out += EncodeFieldImpl(t[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+common::Status LoadRelationFromCsv(std::string_view text, RelationId id,
+                                   Database* db) {
+  const RelationSchema& schema = db->catalog().schema(id);
+  std::vector<std::string> lines = common::Split(text, '\n');
+  std::vector<std::string> fields;
+  std::vector<bool> was_quoted;
+  bool saw_header = false;
+  for (const std::string& raw_line : lines) {
+    std::string_view line = common::StripWhitespace(raw_line);
+    if (line.empty()) continue;
+    QOCO_RETURN_NOT_OK(SplitRecordImpl(line, &fields, &was_quoted));
+    if (!saw_header) {
+      if (fields.size() != schema.arity()) {
+        return common::Status::ParseError(
+            "CSV header arity mismatch for relation '" + schema.name + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != schema.arity()) {
+      return common::Status::ParseError(
+          "CSV row arity mismatch for relation '" + schema.name + "'");
+    }
+    Tuple t;
+    t.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      t.push_back(ParseFieldImpl(fields[i], was_quoted[i]));
+    }
+    QOCO_RETURN_NOT_OK(db->Insert(Fact{id, std::move(t)}).status());
+  }
+  return common::Status::OK();
+}
+
+std::string DatabaseToCsv(const Database& db) {
+  std::string out;
+  for (size_t id = 0; id < db.catalog().size(); ++id) {
+    out += "## " + db.catalog().relation_name(static_cast<RelationId>(id)) +
+           "\n";
+    out += RelationToCsv(db, static_cast<RelationId>(id));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string EncodeCsvField(const Value& v) { return EncodeFieldImpl(v); }
+
+common::Status SplitCsvRecord(std::string_view line,
+                              std::vector<std::string>* fields,
+                              std::vector<bool>* was_quoted) {
+  return SplitRecordImpl(line, fields, was_quoted);
+}
+
+Value ParseCsvField(const std::string& raw, bool quoted) {
+  return ParseFieldImpl(raw, quoted);
+}
+
+common::Status LoadDatabaseFromCsv(std::string_view text, Database* db) {
+  std::vector<std::string> lines = common::Split(text, '\n');
+  RelationId current = kInvalidRelation;
+  std::string block;
+  auto flush = [&]() -> common::Status {
+    if (current == kInvalidRelation) return common::Status::OK();
+    return LoadRelationFromCsv(block, current, db);
+  };
+  for (const std::string& raw_line : lines) {
+    std::string_view line = common::StripWhitespace(raw_line);
+    if (common::StartsWith(line, "## ")) {
+      QOCO_RETURN_NOT_OK(flush());
+      block.clear();
+      std::string name(common::StripWhitespace(line.substr(3)));
+      QOCO_ASSIGN_OR_RETURN(current, db->catalog().FindRelation(name));
+    } else if (current != kInvalidRelation) {
+      block += raw_line;
+      block += "\n";
+    }
+  }
+  return flush();
+}
+
+}  // namespace qoco::relational

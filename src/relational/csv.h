@@ -1,0 +1,48 @@
+#ifndef QOCO_RELATIONAL_CSV_H_
+#define QOCO_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+
+namespace qoco::relational {
+
+/// Serializes one relation as CSV: a header row of attribute names followed
+/// by one row per tuple. Strings containing commas, quotes or newlines are
+/// double-quoted with "" escaping; integers and doubles are printed bare.
+std::string RelationToCsv(const Database& db, RelationId id);
+
+/// Parses CSV `text` (with header row, which is validated against the
+/// schema) and inserts every row into relation `id` of `db`. Fields that
+/// parse as int64 become integers, then doubles, otherwise strings.
+common::Status LoadRelationFromCsv(std::string_view text, RelationId id,
+                                   Database* db);
+
+/// Serializes the whole database: each relation introduced by a line
+/// "## <relation-name>" followed by its CSV block and a blank line.
+std::string DatabaseToCsv(const Database& db);
+
+/// Parses the multi-relation format produced by DatabaseToCsv into `db`
+/// (relations must already exist in the catalog).
+common::Status LoadDatabaseFromCsv(std::string_view text, Database* db);
+
+/// Encodes one value as a CSV field (quoting strings that would otherwise
+/// be ambiguous). Building block shared with the edit journal.
+std::string EncodeCsvField(const Value& v);
+
+/// Splits one CSV record into raw fields, honoring quotes; `was_quoted[i]`
+/// records whether field i was quoted (quoted fields stay strings).
+common::Status SplitCsvRecord(std::string_view line,
+                              std::vector<std::string>* fields,
+                              std::vector<bool>* was_quoted);
+
+/// Decodes a raw CSV field into a typed value (ints, then doubles, then
+/// strings; quoted fields always strings).
+Value ParseCsvField(const std::string& raw, bool quoted);
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_CSV_H_

@@ -1,0 +1,67 @@
+#include "src/relational/journal.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/relational/csv.h"
+
+namespace qoco::relational {
+
+std::string EditJournal::EncodeEdit(bool insert, const Fact& fact,
+                                    const Catalog& catalog) {
+  std::string line = insert ? "+" : "-";
+  line += "\t";
+  line += catalog.relation_name(fact.relation);
+  line += "\t";
+  for (size_t i = 0; i < fact.tuple.size(); ++i) {
+    if (i > 0) line += ",";
+    line += EncodeCsvField(fact.tuple[i]);
+  }
+  return line;
+}
+
+void EditJournal::Append(bool insert, const Fact& fact,
+                         const Catalog& catalog) {
+  contents_ += EncodeEdit(insert, fact, catalog);
+  contents_ += "\n";
+}
+
+common::Status ReplayJournal(std::string_view journal, Database* db) {
+  for (const std::string& raw_line : common::Split(journal, '\n')) {
+    std::string_view line = common::StripWhitespace(raw_line);
+    if (line.empty()) continue;
+    std::vector<std::string> parts = common::Split(line, '\t');
+    if (parts.size() != 3 || (parts[0] != "+" && parts[0] != "-")) {
+      return common::Status::ParseError("malformed journal record: " +
+                                        std::string(line));
+    }
+    QOCO_ASSIGN_OR_RETURN(RelationId relation,
+                          db->catalog().FindRelation(parts[1]));
+    std::vector<std::string> fields;
+    std::vector<bool> was_quoted;
+    QOCO_RETURN_NOT_OK(SplitCsvRecord(parts[2], &fields, &was_quoted));
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      tuple.push_back(ParseCsvField(fields[i], was_quoted[i]));
+    }
+    Fact fact{relation, std::move(tuple)};
+    if (parts[0] == "+") {
+      QOCO_RETURN_NOT_OK(db->Insert(fact).status());
+    } else {
+      QOCO_RETURN_NOT_OK(db->Erase(fact).status());
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<Database> RecoverDatabase(const Catalog* catalog,
+                                         std::string_view snapshot_csv,
+                                         std::string_view journal) {
+  Database db(catalog);
+  QOCO_RETURN_NOT_OK(LoadDatabaseFromCsv(snapshot_csv, &db));
+  QOCO_RETURN_NOT_OK(ReplayJournal(journal, &db));
+  return db;
+}
+
+}  // namespace qoco::relational

@@ -1,0 +1,56 @@
+#ifndef QOCO_RELATIONAL_JOURNAL_H_
+#define QOCO_RELATIONAL_JOURNAL_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+
+namespace qoco::relational {
+
+/// A durable, human-readable journal of database edits (write-ahead-log
+/// style). Cleaning sessions are long-lived, crowd answers are expensive,
+/// and the repairs they produce should survive a crash: a deployment
+/// snapshots the database (DatabaseToCsv) and appends every applied edit
+/// to a journal; recovery replays the journal over the snapshot.
+///
+/// Record format, one edit per line:
+///
+///   +<TAB>RelationName<TAB>field,field,...
+///   -<TAB>RelationName<TAB>field,field,...
+///
+/// Fields use the CSV escaping rules of relational/csv.h, so values
+/// containing tabs, commas or newlines round-trip.
+class EditJournal {
+ public:
+  /// Serializes one edit as a journal line (without trailing newline).
+  static std::string EncodeEdit(bool insert, const Fact& fact,
+                                const Catalog& catalog);
+
+  /// Appends an edit record to the in-memory journal buffer.
+  void Append(bool insert, const Fact& fact, const Catalog& catalog);
+
+  /// The journal contents accumulated so far (one record per line).
+  const std::string& contents() const { return contents_; }
+  void Clear() { contents_.clear(); }
+
+ private:
+  std::string contents_;
+};
+
+/// Replays a journal over `db`: every `+` line is inserted, every `-` line
+/// erased (idempotently, matching edit semantics). Unknown relations,
+/// malformed records or arity mismatches abort with ParseError; the
+/// database may then be partially replayed, as with a torn log.
+common::Status ReplayJournal(std::string_view journal, Database* db);
+
+/// Convenience recovery: loads the CSV snapshot into a fresh database over
+/// `catalog` and replays the journal on top.
+common::Result<Database> RecoverDatabase(const Catalog* catalog,
+                                         std::string_view snapshot_csv,
+                                         std::string_view journal);
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_JOURNAL_H_

@@ -1,0 +1,66 @@
+#include "src/relational/relation.h"
+
+#include <algorithm>
+
+namespace qoco::relational {
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+bool Relation::Insert(const Tuple& t) {
+  if (membership_.contains(t)) return false;
+  uint32_t pos = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(t);
+  membership_.emplace(t, pos);
+  index_valid_.assign(index_valid_.size(), false);
+  return true;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = membership_.find(t);
+  if (it == membership_.end()) return false;
+  uint32_t pos = it->second;
+  membership_.erase(it);
+  uint32_t last = static_cast<uint32_t>(rows_.size()) - 1;
+  if (pos != last) {
+    rows_[pos] = std::move(rows_[last]);
+    membership_[rows_[pos]] = pos;
+  }
+  rows_.pop_back();
+  index_valid_.assign(index_valid_.size(), false);
+  return true;
+}
+
+void Relation::EnsureIndex(size_t column) const {
+  if (column_index_.size() < arity_) {
+    column_index_.resize(arity_);
+    index_valid_.resize(arity_, false);
+  }
+  if (index_valid_[column]) return;
+  auto& index = column_index_[column];
+  index.clear();
+  for (uint32_t pos = 0; pos < rows_.size(); ++pos) {
+    index[rows_[pos][column]].push_back(pos);
+  }
+  index_valid_[column] = true;
+}
+
+const std::vector<uint32_t>& Relation::RowsWithValue(size_t column,
+                                                     const Value& v) const {
+  EnsureIndex(column);
+  auto it = column_index_[column].find(v);
+  if (it == column_index_[column].end()) return kEmptyRows;
+  return it->second;
+}
+
+std::vector<Value> Relation::ColumnDomain(size_t column) const {
+  EnsureIndex(column);
+  std::vector<Value> domain;
+  domain.reserve(column_index_[column].size());
+  for (const auto& [value, rows] : column_index_[column]) {
+    domain.push_back(value);
+  }
+  std::sort(domain.begin(), domain.end());
+  return domain;
+}
+
+}  // namespace qoco::relational

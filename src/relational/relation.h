@@ -1,0 +1,66 @@
+#ifndef QOCO_RELATIONAL_RELATION_H_
+#define QOCO_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relational/tuple.h"
+
+namespace qoco::relational {
+
+/// A finite relation instance with set semantics.
+///
+/// Besides membership and insert/erase, a Relation maintains lazily-built
+/// per-column hash indexes (value -> row positions) that the query evaluator
+/// uses to drive index nested-loop joins. Indexes are invalidated on any
+/// mutation and rebuilt on first use.
+class Relation {
+ public:
+  /// Constructs an empty relation of the given arity.
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// True iff `t` is in the relation. Precondition: t.size() == arity().
+  bool Contains(const Tuple& t) const { return membership_.contains(t); }
+
+  /// Inserts `t`; returns true if newly inserted (set semantics).
+  /// Precondition: t.size() == arity().
+  bool Insert(const Tuple& t);
+
+  /// Erases `t`; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  /// All tuples, in insertion order (stable across erases of other tuples
+  /// only up to the swap-remove performed internally; treat as unordered).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row positions whose `column` equals `v`. The returned reference is
+  /// valid until the next mutation. Precondition: column < arity().
+  const std::vector<uint32_t>& RowsWithValue(size_t column,
+                                             const Value& v) const;
+
+  /// Distinct values appearing in `column`.
+  std::vector<Value> ColumnDomain(size_t column) const;
+
+ private:
+  void EnsureIndex(size_t column) const;
+
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> membership_;
+
+  // Lazily built per-column indexes; mutable for build-on-demand.
+  mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>,
+                                         ValueHash>> column_index_;
+  mutable std::vector<bool> index_valid_;
+
+  static const std::vector<uint32_t> kEmptyRows;
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_RELATION_H_

@@ -1,0 +1,37 @@
+#include "src/relational/schema.h"
+
+namespace qoco::relational {
+
+common::Result<RelationId> Catalog::AddRelation(RelationSchema schema) {
+  if (schema.name.empty()) {
+    return common::Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (schema.attributes.empty()) {
+    return common::Status::InvalidArgument(
+        "relation '" + schema.name + "' must have at least one attribute");
+  }
+  if (by_name_.contains(schema.name)) {
+    return common::Status::AlreadyExists(
+        "relation '" + schema.name + "' already registered");
+  }
+  RelationId id = static_cast<RelationId>(schemas_.size());
+  by_name_.emplace(schema.name, id);
+  schemas_.push_back(std::move(schema));
+  return id;
+}
+
+common::Result<RelationId> Catalog::AddRelation(
+    const std::string& name, std::vector<std::string> attributes) {
+  return AddRelation(RelationSchema{name, std::move(attributes)});
+}
+
+common::Result<RelationId> Catalog::FindRelation(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return common::Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace qoco::relational

@@ -1,0 +1,65 @@
+#ifndef QOCO_RELATIONAL_SCHEMA_H_
+#define QOCO_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::relational {
+
+/// Schema of one relation: its name and attribute names (arity implied).
+struct RelationSchema {
+  std::string name;
+  std::vector<std::string> attributes;
+
+  size_t arity() const { return attributes.size(); }
+};
+
+/// The catalog maps relation names to ids and stores each relation's schema.
+///
+/// A Catalog is shared by a dirty database D and its ground truth DG so that
+/// facts, queries and edits refer to relations by the same ids.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a relation. Returns its id, or AlreadyExists if the name is
+  /// taken, or InvalidArgument for an empty name / zero arity.
+  common::Result<RelationId> AddRelation(RelationSchema schema);
+
+  /// Convenience overload building the schema in place.
+  common::Result<RelationId> AddRelation(
+      const std::string& name, std::vector<std::string> attributes);
+
+  /// Looks up a relation id by name.
+  common::Result<RelationId> FindRelation(const std::string& name) const;
+
+  /// The schema of `id`. Precondition: id is valid.
+  const RelationSchema& schema(RelationId id) const {
+    return schemas_[static_cast<size_t>(id)];
+  }
+
+  /// The name of `id`. Precondition: id is valid.
+  const std::string& relation_name(RelationId id) const {
+    return schema(id).name;
+  }
+
+  /// Number of registered relations. Valid ids are [0, size()).
+  size_t size() const { return schemas_.size(); }
+
+  /// True iff `id` names a registered relation.
+  bool IsValid(RelationId id) const {
+    return id >= 0 && static_cast<size_t>(id) < schemas_.size();
+  }
+
+ private:
+  std::vector<RelationSchema> schemas_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_SCHEMA_H_

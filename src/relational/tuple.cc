@@ -1,0 +1,15 @@
+#include "src/relational/tuple.h"
+
+namespace qoco::relational {
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qoco::relational

@@ -1,0 +1,62 @@
+#ifndef QOCO_RELATIONAL_TUPLE_H_
+#define QOCO_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/relational/value.h"
+
+namespace qoco::relational {
+
+/// Identifier of a relation within a Catalog.
+using RelationId = int32_t;
+
+/// Sentinel for "no relation".
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// A tuple is an ordered list of values. Arity is tuple.size().
+using Tuple = std::vector<Value>;
+
+/// Renders a tuple as "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+/// Hash over all components of a tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) common::HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+/// A fact R(t̄): a tuple tagged with the relation it belongs to. The paper
+/// uses "tuple of relation R" and "fact R(t̄)" interchangeably; facts are the
+/// unit of crowd questions TRUE(R(t̄))? and of edits R(t̄)+/R(t̄)-.
+struct Fact {
+  RelationId relation = kInvalidRelation;
+  Tuple tuple;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.tuple == b.tuple;
+  }
+  friend bool operator!=(const Fact& a, const Fact& b) { return !(a == b); }
+  friend bool operator<(const Fact& a, const Fact& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.tuple < b.tuple;
+  }
+};
+
+/// Hash for Fact.
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    size_t seed = static_cast<size_t>(f.relation);
+    common::HashCombine(&seed, TupleHash{}(f.tuple));
+    return seed;
+  }
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_TUPLE_H_

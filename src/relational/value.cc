@@ -1,0 +1,36 @@
+#include "src/relational/value.h"
+
+#include <functional>
+
+namespace qoco::relational {
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::string s = std::to_string(AsDouble());
+    // Trim trailing zeros but keep one digit after the point.
+    size_t dot = s.find('.');
+    if (dot != std::string::npos) {
+      size_t last = s.find_last_not_of('0');
+      if (last == dot) last = dot + 1;
+      s.erase(last + 1);
+    }
+    return s;
+  }
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  size_t seed = data_.index();
+  if (is_int()) {
+    common::HashCombine(&seed, std::hash<int64_t>{}(AsInt()));
+  } else if (is_double()) {
+    common::HashCombine(&seed, std::hash<double>{}(AsDouble()));
+  } else if (is_string()) {
+    common::HashCombine(&seed, std::hash<std::string>{}(AsString()));
+  }
+  return seed;
+}
+
+}  // namespace qoco::relational

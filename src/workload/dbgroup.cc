@@ -1,0 +1,219 @@
+#include "src/workload/dbgroup.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/query/parser.h"
+
+namespace qoco::workload {
+
+namespace {
+
+using relational::Fact;
+using relational::RelationId;
+using relational::Tuple;
+using relational::Value;
+
+common::Status InsertRow(relational::Database* db, RelationId rel,
+                         std::vector<std::string> values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (std::string& v : values) t.push_back(Value(std::move(v)));
+  return db->Insert(Fact{rel, std::move(t)}).status();
+}
+
+constexpr const char* kConfs[] = {"SIGMOD", "VLDB",  "ICDE", "EDBT",
+                                  "PODS",   "WWW",   "KDD",  "CIKM"};
+constexpr const char* kStatuses[] = {"student", "student", "postdoc",
+                                     "faculty", "alumni"};
+constexpr const char* kFunding[] = {"ERC", "ISF", "none"};
+
+}  // namespace
+
+common::Result<DbGroupData> MakeDbGroupData(const DbGroupParams& params) {
+  DbGroupData data;
+  data.catalog = std::make_unique<relational::Catalog>();
+  QOCO_ASSIGN_OR_RETURN(
+      data.members,
+      data.catalog->AddRelation("Members", {"name", "status", "funding"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.talks,
+      data.catalog->AddRelation("Talks",
+                                {"speaker", "type", "topic", "conf", "year"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.topics, data.catalog->AddRelation("Topics", {"topic", "grant"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.trips,
+      data.catalog->AddRelation("Trips",
+                                {"member", "conf", "date", "sponsor"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.pubs,
+      data.catalog->AddRelation("Publications", {"title", "topic", "year"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.authors,
+      data.catalog->AddRelation("PubAuthors", {"title", "member"}));
+  QOCO_ASSIGN_OR_RETURN(data.recent,
+                        data.catalog->AddRelation("RecentDates", {"date"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.recent_years,
+      data.catalog->AddRelation("RecentYears", {"year"}));
+
+  data.ground_truth =
+      std::make_unique<relational::Database>(data.catalog.get());
+  relational::Database* g = data.ground_truth.get();
+  common::Rng rng(params.seed);
+
+  // --- Reference data shared by both instances. -------------------------
+  // Topics: even ids are ERC-related, odd ids ISF.
+  std::vector<std::string> topic_names;
+  for (size_t i = 0; i < params.num_topics; ++i) {
+    topic_names.push_back("topic_" + std::to_string(i));
+    QOCO_RETURN_NOT_OK(InsertRow(g, data.topics,
+                                 {topic_names.back(),
+                                  i % 2 == 0 ? "ERC" : "ISF"}));
+  }
+  QOCO_RETURN_NOT_OK(InsertRow(g, data.topics, {"crowdsourcing", "ERC"}));
+  topic_names.push_back("crowdsourcing");
+
+  // RecentDates: the 30-month reporting window, one entry per month.
+  std::vector<std::string> recent_dates;
+  for (int year = 2013; year <= 2015; ++year) {
+    int last_month = year == 2015 ? 6 : 12;
+    for (int month = 1; month <= last_month; ++month) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%02d.%d", month, year);
+      recent_dates.push_back(buf);
+      QOCO_RETURN_NOT_OK(InsertRow(g, data.recent, {recent_dates.back()}));
+    }
+  }
+  for (const char* year : {"2013", "2014", "2015"}) {
+    QOCO_RETURN_NOT_OK(InsertRow(g, data.recent_years, {year}));
+  }
+
+  // Members.
+  std::vector<std::string> member_names;
+  for (size_t i = 0; i < params.num_members; ++i) {
+    member_names.push_back("member_" + std::to_string(i));
+    QOCO_RETURN_NOT_OK(InsertRow(g, data.members,
+                                 {member_names.back(), kStatuses[i % 5],
+                                  kFunding[i % 3]}));
+  }
+
+  // Publications and authors.
+  for (size_t i = 0; i < params.num_publications; ++i) {
+    std::string title = "pub_" + std::to_string(i);
+    const std::string& topic =
+        rng.Chance(0.1) ? topic_names.back()
+                        : topic_names[rng.Index(topic_names.size() - 1)];
+    std::string year = std::to_string(2005 + rng.Uniform(0, 10));
+    QOCO_RETURN_NOT_OK(InsertRow(g, data.pubs, {title, topic, year}));
+    for (int a = 0; a < 2; ++a) {
+      QOCO_RETURN_NOT_OK(InsertRow(
+          g, data.authors,
+          {title, member_names[rng.Index(member_names.size())]}));
+    }
+  }
+
+  // Talks. Generated speakers avoid the planted names below.
+  for (size_t i = 0; i < params.num_talks; ++i) {
+    const char* type = i % 4 == 2 ? "keynote"
+                       : i % 4 == 3 ? "tutorial"
+                                    : "regular";
+    QOCO_RETURN_NOT_OK(InsertRow(
+        g, data.talks,
+        {member_names[rng.Index(member_names.size())], type,
+         topic_names[rng.Index(topic_names.size())],
+         kConfs[rng.Index(8)], std::to_string(2010 + rng.Uniform(0, 5))}));
+  }
+
+  // Trips. Generated trips never use ERC sponsorship by students within the
+  // recent window, so the planted Q3 answers below are fully controlled.
+  for (size_t i = 0; i < params.num_trips; ++i) {
+    std::string date = rng.Chance(0.5)
+                           ? recent_dates[rng.Index(recent_dates.size())]
+                           : "05.201" + std::to_string(rng.Uniform(0, 2));
+    QOCO_RETURN_NOT_OK(InsertRow(
+        g, data.trips,
+        {member_names[rng.Index(member_names.size())],
+         kConfs[rng.Index(8)], date, rng.Chance(0.5) ? "ISF" : "none"}));
+  }
+
+  // --- Planted showcase rows (Section 7.1). -----------------------------
+  // Q3 true answers: five students with one recent ERC-sponsored trip each.
+  const char* kTripMembers[] = {"noa", "gil", "dana", "eli", "tal"};
+  for (const char* m : kTripMembers) {
+    QOCO_RETURN_NOT_OK(InsertRow(g, data.members, {m, "student", "ISF"}));
+    QOCO_RETURN_NOT_OK(InsertRow(
+        g, data.trips, {m, kConfs[rng.Index(8)], "03.2014", "ERC"}));
+  }
+  // Q2 true answers: the missing member "omer" (current, ERC-funded).
+  QOCO_RETURN_NOT_OK(InsertRow(g, data.members, {"omer", "student", "ERC"}));
+  // Q1 true answer to go missing: a unique keynote on an ERC topic.
+  QOCO_RETURN_NOT_OK(InsertRow(
+      g, data.talks, {"omer", "keynote", "crowdsourcing", "EDBT", "2014"}));
+
+  // --- Derive the dirty instance. ----------------------------------------
+  data.dirty = std::make_unique<relational::Database>(*g);
+  relational::Database* d = data.dirty.get();
+
+  // Wrong answer #1 (Q1): a keynote that never happened, listed twice
+  // (two false Talks rows -> 2 deletions to repair).
+  QOCO_RETURN_NOT_OK(InsertRow(
+      d, data.talks, {"ghost", "keynote", "topic_0", "ICDE", "2014"}));
+  QOCO_RETURN_NOT_OK(InsertRow(
+      d, data.talks, {"ghost", "keynote", "topic_0", "ICDE", "2013"}));
+  // Wrong answers #2-#5 (Q2): four members wrongly recorded as ERC-funded
+  // (their true funding is ISF) -> 4 deletions.
+  for (const char* m : {"noa", "gil", "dana", "eli"}) {
+    QOCO_RETURN_NOT_OK(InsertRow(d, data.members, {m, "student", "ERC"}));
+  }
+
+  // Missing answer #1 (Q1): omer's keynote is absent from D -> 1 insertion.
+  QOCO_RETURN_NOT_OK(
+      d->Erase(Fact{data.talks,
+                    {Value("omer"), Value("keynote"), Value("crowdsourcing"),
+                     Value("EDBT"), Value("2014")}})
+          .status());
+  // Missing answer #2 (Q2): omer's membership row is absent -> 1 insertion.
+  QOCO_RETURN_NOT_OK(
+      d->Erase(Fact{data.members,
+                    {Value("omer"), Value("student"), Value("ERC")}})
+          .status());
+  // Missing answers #3-#7 (Q3): the five students' ERC trips are absent;
+  // for "tal" the membership row is gone too -> 5 + 1 = 6 insertions.
+  for (const char* m : kTripMembers) {
+    // Find the trip row in DG to erase its copy from D.
+    for (const Tuple& row : g->relation(data.trips).rows()) {
+      if (row[0] == Value(m) && row[3] == Value("ERC")) {
+        QOCO_RETURN_NOT_OK(d->Erase(Fact{data.trips, row}).status());
+        break;
+      }
+    }
+  }
+  QOCO_RETURN_NOT_OK(
+      d->Erase(Fact{data.members,
+                    {Value("tal"), Value("student"), Value("ISF")}})
+          .status());
+
+  // --- Report queries. ----------------------------------------------------
+  const char* kQueryTexts[] = {
+      // Q1: keynotes and tutorials on topics related to ERC.
+      "(s, c) :- Talks(s, ty, t, c, y), Topics(t, 'ERC'), ty != 'regular'.",
+      // Q2: current group members financed by ERC.
+      "(m) :- Members(m, st, 'ERC'), st != 'alumni'.",
+      // Q3: students at conferences in the past 30 months, travel
+      // sponsored by ERC.
+      "(m, c) :- Members(m, 'student', f), Trips(m, c, d, 'ERC'), "
+      "RecentDates(d).",
+      // Q4: publications on crowdsourcing published in the last 30 months.
+      "(t) :- Publications(t, 'crowdsourcing', y), RecentYears(y).",
+  };
+  for (const char* text : kQueryTexts) {
+    QOCO_ASSIGN_OR_RETURN(query::CQuery q,
+                          query::ParseQuery(text, *data.catalog));
+    data.report_queries.push_back(std::move(q));
+  }
+  return data;
+}
+
+}  // namespace qoco::workload

@@ -1,0 +1,53 @@
+#ifndef QOCO_WORKLOAD_DBGROUP_H_
+#define QOCO_WORKLOAD_DBGROUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+#include "src/relational/schema.h"
+
+namespace qoco::workload {
+
+/// Synthetic stand-in for the paper's DBGroup database (Section 7.1): ~2000
+/// tuples of research-group record keeping, with the errors of the showcase
+/// planted so the four grant-report queries surface exactly the paper's
+/// counts — 5 wrong answers (1 keynote, 4 members) and 7 missing answers
+/// (1 keynote, 1 member, 5 conference trips), repaired by deleting 6 wrong
+/// tuples and inserting 8 missing ones.
+struct DbGroupData {
+  std::unique_ptr<relational::Catalog> catalog;
+  std::unique_ptr<relational::Database> dirty;         // D
+  std::unique_ptr<relational::Database> ground_truth;  // DG
+
+  relational::RelationId members;   // Members(name, status, funding)
+  relational::RelationId talks;     // Talks(speaker, type, topic, conf, year)
+  relational::RelationId topics;    // Topics(topic, grant)
+  relational::RelationId trips;     // Trips(member, conf, date, sponsor)
+  relational::RelationId pubs;      // Publications(title, topic, year)
+  relational::RelationId authors;   // PubAuthors(title, member)
+  relational::RelationId recent;    // RecentDates(date) - last 30 months
+  relational::RelationId recent_years;  // RecentYears(year)
+
+  /// The four report queries Q1..Q4 of Section 7.1.
+  std::vector<query::CQuery> report_queries;
+};
+
+/// Generation knobs.
+struct DbGroupParams {
+  size_t num_members = 30;
+  size_t num_publications = 380;
+  size_t num_talks = 90;
+  size_t num_trips = 160;
+  size_t num_topics = 18;
+  uint64_t seed = 42;
+};
+
+/// Builds the database pair and the report queries.
+common::Result<DbGroupData> MakeDbGroupData(const DbGroupParams& params);
+
+}  // namespace qoco::workload
+
+#endif  // QOCO_WORKLOAD_DBGROUP_H_

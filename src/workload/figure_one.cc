@@ -1,0 +1,125 @@
+#include "src/workload/figure_one.h"
+
+#include "src/query/parser.h"
+
+namespace qoco::workload {
+
+namespace {
+
+using relational::Fact;
+using relational::RelationId;
+using relational::Tuple;
+using relational::Value;
+
+common::Status InsertRow(relational::Database* db, RelationId rel,
+                         std::initializer_list<const char*> values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (const char* v : values) t.push_back(Value(v));
+  return db->Insert(Fact{rel, std::move(t)}).status();
+}
+
+}  // namespace
+
+common::Result<FigureOneSample> MakeFigureOneSample() {
+  FigureOneSample s;
+  s.catalog = std::make_unique<relational::Catalog>();
+  QOCO_ASSIGN_OR_RETURN(
+      s.games, s.catalog->AddRelation(
+                   "Games", {"date", "winner", "runnerup", "stage", "result"}));
+  QOCO_ASSIGN_OR_RETURN(
+      s.teams, s.catalog->AddRelation("Teams", {"country", "continent"}));
+  QOCO_ASSIGN_OR_RETURN(
+      s.players,
+      s.catalog->AddRelation("Players",
+                             {"name", "team", "birth_year", "birth_place"}));
+  QOCO_ASSIGN_OR_RETURN(s.goals,
+                        s.catalog->AddRelation("Goals", {"player", "date"}));
+
+  s.dirty = std::make_unique<relational::Database>(s.catalog.get());
+  s.ground_truth = std::make_unique<relational::Database>(s.catalog.get());
+  relational::Database* d = s.dirty.get();
+  relational::Database* g = s.ground_truth.get();
+
+  // --- Games. White rows (correct, in both D and DG). -----------------
+  for (relational::Database* db : {d, g}) {
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"13.07.14", "GER", "ARG", "Final", "1:0"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"11.07.10", "ESP", "NED", "Final", "1:0"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"09.07.06", "ITA", "FRA", "Final", "5:3"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"30.06.02", "BRA", "GER", "Final", "2:0"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"08.07.90", "GER", "ARG", "Final", "1:0"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.games, {"11.07.82", "ITA", "GER", "Final", "4:1"}));
+  }
+  // Dark-gray rows: fabricated Spanish wins, present only in D.
+  QOCO_RETURN_NOT_OK(
+      InsertRow(d, s.games, {"12.07.98", "ESP", "NED", "Final", "4:2"}));
+  QOCO_RETURN_NOT_OK(
+      InsertRow(d, s.games, {"17.07.94", "ESP", "NED", "Final", "3:1"}));
+  QOCO_RETURN_NOT_OK(
+      InsertRow(d, s.games, {"25.06.78", "ESP", "NED", "Final", "1:0"}));
+  // The true finals of those years, present only in DG.
+  QOCO_RETURN_NOT_OK(
+      InsertRow(g, s.games, {"12.07.98", "FRA", "BRA", "Final", "3:0"}));
+  QOCO_RETURN_NOT_OK(
+      InsertRow(g, s.games, {"17.07.94", "BRA", "ITA", "Final", "3:2"}));
+  QOCO_RETURN_NOT_OK(
+      InsertRow(g, s.games, {"25.06.78", "ARG", "NED", "Final", "3:1"}));
+
+  // --- Teams. ----------------------------------------------------------
+  for (relational::Database* db : {d, g}) {
+    QOCO_RETURN_NOT_OK(InsertRow(db, s.teams, {"GER", "EU"}));
+    QOCO_RETURN_NOT_OK(InsertRow(db, s.teams, {"ESP", "EU"}));
+  }
+  // Dark gray (wrong, D only).
+  QOCO_RETURN_NOT_OK(InsertRow(d, s.teams, {"BRA", "EU"}));
+  QOCO_RETURN_NOT_OK(InsertRow(d, s.teams, {"NED", "SA"}));
+  // Light gray (missing from D) and other DG-only corrections.
+  QOCO_RETURN_NOT_OK(InsertRow(g, s.teams, {"ITA", "EU"}));
+  QOCO_RETURN_NOT_OK(InsertRow(g, s.teams, {"BRA", "SA"}));
+  QOCO_RETURN_NOT_OK(InsertRow(g, s.teams, {"NED", "EU"}));
+  QOCO_RETURN_NOT_OK(InsertRow(g, s.teams, {"FRA", "EU"}));
+  QOCO_RETURN_NOT_OK(InsertRow(g, s.teams, {"ARG", "SA"}));
+
+  // --- Players (all correct). ------------------------------------------
+  for (relational::Database* db : {d, g}) {
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.players, {"Mario Goetze", "GER", "1992", "GER"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.players, {"Andrea Pirlo", "ITA", "1979", "ITA"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.players, {"Francesco Totti", "ITA", "1976", "ITA"}));
+  }
+
+  // --- Goals. -----------------------------------------------------------
+  for (relational::Database* db : {d, g}) {
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.goals, {"Mario Goetze", "13.07.14"}));
+    QOCO_RETURN_NOT_OK(
+        InsertRow(db, s.goals, {"Andrea Pirlo", "09.07.06"}));
+  }
+  // Dark gray: Totti never scored in that final (Example 6.1).
+  QOCO_RETURN_NOT_OK(
+      InsertRow(d, s.goals, {"Francesco Totti", "09.07.06"}));
+
+  QOCO_ASSIGN_OR_RETURN(
+      s.q1,
+      query::ParseQuery(
+          "(x) :- Games(d1, x, y, 'Final', u1), Games(d2, x, z, 'Final', u2), "
+          "Teams(x, 'EU'), d1 != d2.",
+          *s.catalog));
+  QOCO_ASSIGN_OR_RETURN(
+      s.q2,
+      query::ParseQuery(
+          "(x) :- Players(x, y, z, w), Goals(x, d), "
+          "Games(d, y, v, 'Final', u), Teams(y, 'EU').",
+          *s.catalog));
+  return s;
+}
+
+}  // namespace qoco::workload

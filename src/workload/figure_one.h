@@ -1,0 +1,45 @@
+#ifndef QOCO_WORKLOAD_FIGURE_ONE_H_
+#define QOCO_WORKLOAD_FIGURE_ONE_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+#include "src/relational/schema.h"
+
+namespace qoco::workload {
+
+/// The World Cup Games sample of Figure 1, reconstructed so that every
+/// worked example of the paper holds:
+///
+///  * Example 2.1/4.6: Q1 (European teams that won the World Cup at least
+///    twice) returns {GER, ESP} over D; ESP is wrong and is supported by
+///    exactly six witnesses; ITA is missing.
+///  * Example 5.4: Q2 (European players who scored in a final) misses
+///    (Pirlo) only because Teams(ITA, EU) is absent from D.
+///  * Example 6.1: inserting Teams(ITA, EU) surfaces (Totti) as a new
+///    wrong answer through the false fact Goals(Totti, 09.07.06).
+struct FigureOneSample {
+  std::unique_ptr<relational::Catalog> catalog;
+  std::unique_ptr<relational::Database> dirty;         // D
+  std::unique_ptr<relational::Database> ground_truth;  // DG
+
+  relational::RelationId games;
+  relational::RelationId teams;
+  relational::RelationId players;
+  relational::RelationId goals;
+
+  /// Q1 of Example 2.1: European teams that won at least two finals.
+  query::CQuery q1;
+  /// Q2 of Example 5.4: European players who scored in a final game.
+  query::CQuery q2;
+};
+
+/// Builds the sample. Never fails on valid internal data; the Result guards
+/// against programming errors in the fixture itself.
+common::Result<FigureOneSample> MakeFigureOneSample();
+
+}  // namespace qoco::workload
+
+#endif  // QOCO_WORKLOAD_FIGURE_ONE_H_

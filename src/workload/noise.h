@@ -1,0 +1,60 @@
+#ifndef QOCO_WORKLOAD_NOISE_H_
+#define QOCO_WORKLOAD_NOISE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::workload {
+
+/// Global noise knobs of Section 7.2.
+struct NoiseParams {
+  /// Degree of data cleanliness: |D ∩ DG| / (|D| + |DG - D|). Paper range
+  /// 60%..95%, default 80%.
+  double cleanliness = 0.8;
+  /// Noise skewness: |D - DG| / (|D - DG| + |DG - D|). 100% = only false
+  /// tuples, 0% = only missing tuples.
+  double skew = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Derives a dirty database from the ground truth by removing m true facts
+/// and fabricating f false ones (perturbing one column of an existing fact
+/// to another value drawn from that column's active domain), where f and m
+/// are chosen so the cleanliness and skew of the result match `params`.
+common::Result<relational::Database> MakeDirty(
+    const relational::Database& ground_truth, const NoiseParams& params);
+
+/// A dirty database with errors planted specifically for one query.
+struct PlantedErrors {
+  relational::Database db;
+  /// Answers of Q(db) that are not in Q(DG), i.e. the wrong answers.
+  std::vector<relational::Tuple> wrong;
+  /// Answers of Q(DG) that are not in Q(db), i.e. the missing answers.
+  std::vector<relational::Tuple> missing;
+};
+
+/// Plants approximately `num_wrong` wrong answers and `num_missing` missing
+/// answers for `q` (Section 7.2 plants controlled noise per query).
+///
+///  * Wrong answers are fabricated by copying a true answer's witness and
+///    substituting a fresh head value throughout, yielding a believable but
+///    false witness; each plant is verified and rolled back if it would
+///    create more than one new wrong answer.
+///  * Missing answers are created by deleting, per victim answer, a
+///    low-collateral hitting set of its witnesses.
+///
+/// The returned `wrong`/`missing` vectors are the *actual* planted errors
+/// (recomputed from the final database), which experiments should use as
+/// the ground truth of the run.
+common::Result<PlantedErrors> PlantErrors(const query::CQuery& q,
+                                          const relational::Database& ground_truth,
+                                          size_t num_wrong,
+                                          size_t num_missing, uint64_t seed);
+
+}  // namespace qoco::workload
+
+#endif  // QOCO_WORKLOAD_NOISE_H_

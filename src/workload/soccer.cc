@@ -1,0 +1,232 @@
+#include "src/workload/soccer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/query/parser.h"
+
+namespace qoco::workload {
+
+namespace {
+
+using relational::Fact;
+using relational::RelationId;
+using relational::Tuple;
+using relational::Value;
+
+struct Country {
+  const char* name;
+  const char* continent;
+};
+
+constexpr Country kCountries[] = {
+    {"GER", "EU"}, {"ESP", "EU"}, {"ITA", "EU"}, {"FRA", "EU"},
+    {"NED", "EU"}, {"ENG", "EU"}, {"POR", "EU"}, {"BEL", "EU"},
+    {"CRO", "EU"}, {"SWE", "EU"}, {"POL", "EU"}, {"SUI", "EU"},
+    {"AUT", "EU"}, {"CZE", "EU"}, {"DEN", "EU"}, {"RUS", "EU"},
+    {"BRA", "SA"}, {"ARG", "SA"}, {"URU", "SA"}, {"CHI", "SA"},
+    {"COL", "SA"}, {"PER", "SA"}, {"PAR", "SA"}, {"ECU", "SA"},
+    {"MEX", "NA"}, {"USA", "NA"}, {"CRC", "NA"}, {"HON", "NA"},
+    {"NGA", "AF"}, {"CMR", "AF"}, {"GHA", "AF"}, {"SEN", "AF"},
+    {"EGY", "AF"}, {"ALG", "AF"}, {"JPN", "AS"}, {"KOR", "AS"},
+    {"IRN", "AS"}, {"KSA", "AS"}, {"AUS", "AS"}, {"QAT", "AS"},
+    {"NZL", "OC"},
+};
+constexpr size_t kNumCountries = sizeof(kCountries) / sizeof(kCountries[0]);
+
+/// Historical powerhouses: the first teams of each confederation dominate
+/// knockout games, which concentrates finals among few teams and gives the
+/// loser-oriented queries (Q1, Q4) realistic repeat answers.
+size_t TeamStrength(size_t country_index) {
+  if (country_index < 4) return 6;                          // EU giants
+  if (country_index >= 16 && country_index < 18) return 6;  // BRA/ARG
+  return 1;
+}
+
+std::string GameDate(size_t year, size_t game_index) {
+  char buf[16];
+  size_t day = 1 + game_index % 28;
+  size_t month = 6 + (game_index / 28) % 2;
+  std::snprintf(buf, sizeof(buf), "%02zu.%02zu.%02zu", day, month, year % 100);
+  return buf;
+}
+
+std::string Score(size_t winner_goals, size_t loser_goals) {
+  return std::to_string(winner_goals) + ":" + std::to_string(loser_goals);
+}
+
+}  // namespace
+
+common::Result<SoccerData> MakeSoccerData(const SoccerParams& params) {
+  SoccerData data;
+  data.catalog = std::make_unique<relational::Catalog>();
+  QOCO_ASSIGN_OR_RETURN(
+      data.games,
+      data.catalog->AddRelation(
+          "Games", {"date", "winner", "runnerup", "stage", "result"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.teams, data.catalog->AddRelation("Teams", {"country", "continent"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.players,
+      data.catalog->AddRelation("Players",
+                                {"name", "team", "birth_year", "birth_place"}));
+  QOCO_ASSIGN_OR_RETURN(data.goals,
+                        data.catalog->AddRelation("Goals", {"player", "date"}));
+  QOCO_ASSIGN_OR_RETURN(data.stages,
+                        data.catalog->AddRelation("Stages", {"stage", "phase"}));
+  QOCO_ASSIGN_OR_RETURN(
+      data.clubs,
+      data.catalog->AddRelation("Clubs", {"player", "club", "since"}));
+
+  data.ground_truth =
+      std::make_unique<relational::Database>(data.catalog.get());
+  relational::Database* db = data.ground_truth.get();
+  common::Rng rng(params.seed);
+
+  // Stages.
+  const std::pair<const char*, const char*> kStages[] = {
+      {"Group", "GROUP"}, {"R16", "KO"},   {"Quarter", "KO"},
+      {"Semi", "KO"},     {"Final", "KO"},
+  };
+  for (const auto& [stage, phase] : kStages) {
+    QOCO_RETURN_NOT_OK(
+        db->Insert(Fact{data.stages, {Value(stage), Value(phase)}}).status());
+  }
+
+  // Teams and players.
+  std::vector<std::vector<std::string>> roster(kNumCountries);
+  for (size_t c = 0; c < kNumCountries; ++c) {
+    QOCO_RETURN_NOT_OK(
+        db->Insert(Fact{data.teams,
+                        {Value(kCountries[c].name),
+                         Value(kCountries[c].continent)}})
+            .status());
+    for (size_t p = 0; p < params.players_per_team; ++p) {
+      std::string name = std::string(kCountries[c].name) + "_player_" +
+                         std::to_string(p);
+      std::string birth_year = std::to_string(1955 + rng.Uniform(0, 40));
+      // Most players are born where they play; some abroad.
+      const char* birth_place = rng.Chance(0.9)
+                                    ? kCountries[c].name
+                                    : kCountries[rng.Index(kNumCountries)].name;
+      QOCO_RETURN_NOT_OK(db->Insert(Fact{data.players,
+                                         {Value(name),
+                                          Value(kCountries[c].name),
+                                          Value(birth_year),
+                                          Value(birth_place)}})
+                             .status());
+      roster[c].push_back(name);
+      for (size_t stint = 0; stint < params.clubs_per_player; ++stint) {
+        std::string club = "club_" + std::to_string(rng.Uniform(0, 119));
+        std::string since = std::to_string(1975 + rng.Uniform(0, 40));
+        QOCO_RETURN_NOT_OK(
+            db->Insert(Fact{data.clubs,
+                            {Value(name), Value(club), Value(since)}})
+                .status());
+      }
+    }
+  }
+
+  // Tournaments.
+  auto add_game = [&](size_t year, size_t game_index, size_t winner,
+                      size_t loser, const char* stage) -> common::Status {
+    std::string date = GameDate(year, game_index);
+    size_t winner_goals = static_cast<size_t>(rng.Uniform(1, 3));
+    size_t loser_goals = rng.Index(winner_goals);
+    QOCO_RETURN_NOT_OK(db->Insert(Fact{data.games,
+                                       {Value(date),
+                                        Value(kCountries[winner].name),
+                                        Value(kCountries[loser].name),
+                                        Value(stage),
+                                        Value(Score(winner_goals,
+                                                    loser_goals))}})
+                           .status());
+    size_t total_goals =
+        std::min(winner_goals + loser_goals, params.max_goals_per_game);
+    for (size_t gshot = 0; gshot < total_goals; ++gshot) {
+      size_t team = gshot < winner_goals ? winner : loser;
+      const std::string& scorer = roster[team][rng.Index(roster[team].size())];
+      QOCO_RETURN_NOT_OK(
+          db->Insert(Fact{data.goals, {Value(scorer), Value(date)}}).status());
+    }
+    return common::Status::OK();
+  };
+
+  for (size_t t = 0; t < params.num_tournaments; ++t) {
+    size_t year = 1930 + 4 * t;
+    // The strong teams qualify nearly every time; the rest of the field
+    // rotates.
+    std::vector<size_t> strong;
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < kNumCountries; ++i) {
+      (TeamStrength(i) > 1 ? strong : rest).push_back(i);
+    }
+    rng.Shuffle(&rest);
+    std::vector<size_t> field = strong;
+    while (field.size() < params.teams_per_tournament && !rest.empty()) {
+      field.push_back(rest.back());
+      rest.pop_back();
+    }
+    field.resize(std::min(field.size(), params.teams_per_tournament));
+    rng.Shuffle(&field);
+    size_t game_index = 0;
+
+    // Group stage: random pairings among the field.
+    for (size_t gm = 0; gm < params.group_games_per_tournament; ++gm) {
+      size_t a = rng.Index(field.size());
+      size_t b = rng.Index(field.size());
+      if (a == b) b = (b + 1) % field.size();
+      QOCO_RETURN_NOT_OK(
+          add_game(year, game_index++, field[a], field[b], "Group"));
+    }
+
+    // Knockout bracket: R16 -> Quarter -> Semi -> Final.
+    std::vector<size_t> alive = field;
+    const char* ko_stages[] = {"R16", "Quarter", "Semi", "Final"};
+    for (const char* stage : ko_stages) {
+      if (alive.size() < 2) break;
+      std::vector<size_t> next;
+      for (size_t i = 0; i + 1 < alive.size(); i += 2) {
+        double strength_a = static_cast<double>(TeamStrength(alive[i]));
+        double strength_b = static_cast<double>(TeamStrength(alive[i + 1]));
+        bool a_wins = rng.Chance(strength_a / (strength_a + strength_b));
+        size_t winner = a_wins ? alive[i] : alive[i + 1];
+        size_t loser = a_wins ? alive[i + 1] : alive[i];
+        QOCO_RETURN_NOT_OK(add_game(year, game_index++, winner, loser, stage));
+        next.push_back(winner);
+      }
+      if (alive.size() % 2 == 1) next.push_back(alive.back());
+      alive = std::move(next);
+    }
+  }
+  return data;
+}
+
+std::vector<std::string> SoccerQueryTexts() {
+  return {
+      // Q1: European teams that lost at least two finals.
+      "(x) :- Games(d1, y1, x, 'Final', u1), Games(d2, y2, x, 'Final', u2), "
+      "Teams(x, 'EU'), d1 != d2.",
+      // Q2: same-continent pairs that played each other at least twice.
+      "(x, y) :- Games(d1, x, y, s1, u1), Games(d2, x, y, s2, u2), "
+      "Teams(x, c), Teams(y, c), d1 != d2.",
+      // Q3: non-Asian teams that reached the knockout phase and won there.
+      "(x) :- Games(d, x, y, s, u), Stages(s, 'KO'), Teams(x, c), c != 'AS'.",
+      // Q4: teams that lost two games with the same score.
+      "(x) :- Games(d1, y1, x, s1, u), Games(d2, y2, x, s2, u), d1 != d2.",
+      // Q5: teams with two wins, one against a South American team.
+      "(x) :- Games(d1, x, y, s1, u1), Games(d2, x, z, s2, u2), "
+      "Teams(y, 'SA'), d1 != d2.",
+  };
+}
+
+common::Result<query::CQuery> SoccerQuery(
+    size_t index, const relational::Catalog& catalog) {
+  std::vector<std::string> texts = SoccerQueryTexts();
+  if (index < 1 || index > texts.size()) {
+    return common::Status::InvalidArgument("soccer query index out of range");
+  }
+  return query::ParseQuery(texts[index - 1], catalog);
+}
+
+}  // namespace qoco::workload

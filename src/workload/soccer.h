@@ -1,0 +1,66 @@
+#ifndef QOCO_WORKLOAD_SOCCER_H_
+#define QOCO_WORKLOAD_SOCCER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+#include "src/relational/schema.h"
+
+namespace qoco::workload {
+
+/// Generation knobs for the synthetic Soccer/World-Cup ground truth
+/// (stands in for the ~5000-tuple database the paper scraped from
+/// worldcup-history.com / openfootball and cleaned against FIFA data; see
+/// DESIGN.md for the substitution rationale).
+struct SoccerParams {
+  size_t num_tournaments = 22;
+  size_t teams_per_tournament = 16;
+  size_t group_games_per_tournament = 12;
+  size_t players_per_team = 16;
+  /// Club stints per player (the paper's dataset also records clubs).
+  size_t clubs_per_player = 2;
+  /// Average goals per game drives the Goals relation size.
+  size_t max_goals_per_game = 5;
+  uint64_t seed = 20150531;  // SIGMOD'15 opening day.
+};
+
+/// The generated Soccer database: catalog, ground truth DG, and the
+/// relation handles. Dirty variants are produced by the noise module.
+struct SoccerData {
+  std::unique_ptr<relational::Catalog> catalog;
+  std::unique_ptr<relational::Database> ground_truth;
+
+  relational::RelationId games;    // Games(date, winner, runnerup, stage, result)
+  relational::RelationId teams;    // Teams(country, continent)
+  relational::RelationId players;  // Players(name, team, birth_year, birth_place)
+  relational::RelationId goals;    // Goals(player, date)
+  relational::RelationId stages;   // Stages(stage, phase)
+  relational::RelationId clubs;    // Clubs(player, club, since)
+};
+
+/// Generates the ground truth database deterministically from the seed.
+common::Result<SoccerData> MakeSoccerData(const SoccerParams& params);
+
+/// The five experiment queries of Section 7.2 (inspired by World Cup
+/// trivia), in increasing result-size order:
+///  Q1 European teams that lost at least two finals;
+///  Q2 pairs of same-continent teams that played each other at least twice;
+///  Q3 non-Asian teams that reached the knockout phase and won there;
+///  Q4 teams that lost two games with the same score;
+///  Q5 teams with two wins, one of them against a South American team.
+///
+/// `index` is 1-based. Returns InvalidArgument for indexes outside [1, 5].
+common::Result<query::CQuery> SoccerQuery(size_t index,
+                                          const relational::Catalog& catalog);
+
+/// Query source strings, for display/documentation.
+std::vector<std::string> SoccerQueryTexts();
+
+}  // namespace qoco::workload
+
+#endif  // QOCO_WORKLOAD_SOCCER_H_

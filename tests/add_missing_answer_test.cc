@@ -1,0 +1,149 @@
+// Algorithm 2 tests: Example 5.4 (inserting the Pirlo answer requires only
+// Teams(ITA, EU)), split-strategy behaviour, and insertion invariants.
+
+#include "src/cleaning/add_missing_answer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crowd/crowd_panel.h"
+#include "src/query/parser.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/workload/figure_one.h"
+
+namespace qoco {
+namespace {
+
+using cleaning::AddMissingAnswer;
+using cleaning::InsertionConfig;
+using cleaning::InsertResult;
+using cleaning::SplitStrategy;
+using relational::Tuple;
+using relational::Value;
+
+class AddMissingAnswerTest : public ::testing::TestWithParam<SplitStrategy> {
+ protected:
+  void SetUp() override {
+    auto sample = workload::MakeFigureOneSample();
+    ASSERT_TRUE(sample.ok());
+    s_ = std::make_unique<workload::FigureOneSample>(std::move(sample).value());
+    oracle_ = std::make_unique<crowd::SimulatedOracle>(s_->ground_truth.get());
+  }
+
+  std::unique_ptr<workload::FigureOneSample> s_;
+  std::unique_ptr<crowd::SimulatedOracle> oracle_;
+};
+
+TEST_P(AddMissingAnswerTest, InsertsPirloWithOnlyTrueFacts) {
+  relational::Database db = *s_->dirty;
+  crowd::CrowdPanel panel({oracle_.get()}, crowd::PanelConfig{1});
+  common::Rng rng(5);
+  InsertionConfig config;
+  config.strategy = GetParam();
+  auto result = AddMissingAnswer(s_->q2, &db, Tuple{Value("Andrea Pirlo")},
+                                 &panel, config, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->succeeded);
+  // The answer is present afterwards.
+  query::Evaluator eval(&db);
+  EXPECT_TRUE(
+      eval.Evaluate(s_->q2).ContainsAnswer(Tuple{Value("Andrea Pirlo")}));
+  // Every inserted fact is true (the oracle is perfect).
+  for (const cleaning::Edit& e : result->edits) {
+    EXPECT_EQ(e.kind, cleaning::Edit::Kind::kInsert);
+    EXPECT_TRUE(s_->ground_truth->Contains(e.fact))
+        << "inserted a false fact: " << db.FactToString(e.fact);
+  }
+  // Example 5.4: Teams(ITA, EU) is the only missing fact of the witness.
+  ASSERT_EQ(result->edits.size(), 1u);
+  EXPECT_EQ(db.FactToString(result->edits[0].fact), "Teams(ITA, EU)");
+}
+
+TEST_P(AddMissingAnswerTest, NaiveUpperBoundIsQueryVariableCount) {
+  relational::Database db = *s_->dirty;
+  crowd::CrowdPanel panel({oracle_.get()}, crowd::PanelConfig{1});
+  common::Rng rng(5);
+  InsertionConfig config;
+  config.strategy = GetParam();
+  auto result = AddMissingAnswer(s_->q2, &db, Tuple{Value("Andrea Pirlo")},
+                                 &panel, config, &rng);
+  ASSERT_TRUE(result.ok());
+  // Q2|Pirlo has 6 variables left (y, z, w, d, v, u).
+  EXPECT_EQ(result->naive_upper_bound_vars, 6u);
+}
+
+TEST_P(AddMissingAnswerTest, SplittingBeatsOrMatchesNaiveFilledVars) {
+  relational::Database db_split = *s_->dirty;
+  crowd::CrowdPanel panel_split({oracle_.get()}, crowd::PanelConfig{1});
+  common::Rng rng(5);
+  InsertionConfig config;
+  config.strategy = GetParam();
+  auto split_result =
+      AddMissingAnswer(s_->q2, &db_split, Tuple{Value("Andrea Pirlo")},
+                       &panel_split, config, &rng);
+  ASSERT_TRUE(split_result.ok());
+
+  relational::Database db_naive = *s_->dirty;
+  crowd::CrowdPanel panel_naive({oracle_.get()}, crowd::PanelConfig{1});
+  InsertionConfig naive_config;
+  naive_config.strategy = SplitStrategy::kNaive;
+  auto naive_result =
+      AddMissingAnswer(s_->q2, &db_naive, Tuple{Value("Andrea Pirlo")},
+                       &panel_naive, naive_config, &rng);
+  ASSERT_TRUE(naive_result.ok());
+
+  EXPECT_LE(panel_split.counts().filled_variables,
+            panel_naive.counts().filled_variables);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, AddMissingAnswerTest,
+    ::testing::Values(SplitStrategy::kNaive, SplitStrategy::kRandom,
+                      SplitStrategy::kMinCut, SplitStrategy::kProvenance),
+    [](const ::testing::TestParamInfo<SplitStrategy>& info) {
+      return cleaning::SplitStrategyName(info.param);
+    });
+
+TEST(AddMissingAnswerEdgeTest, AnswerAlreadyPresentIsANoOp) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  crowd::SimulatedOracle oracle(s.ground_truth.get());
+  relational::Database db = *s.dirty;
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  common::Rng rng(1);
+  // GER is already an answer of Q1 over D.
+  auto result = AddMissingAnswer(s.q1, &db, relational::Tuple{Value("GER")},
+                                 &panel, cleaning::InsertionConfig{}, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_TRUE(result->edits.empty());
+}
+
+TEST(AddMissingAnswerEdgeTest, GroundAtomsAreInsertedUpFront) {
+  // Query with a constant-only atom: Q|t keeps it ground and Algorithm 2
+  // inserts it without any crowd question.
+  relational::Catalog catalog;
+  auto r = catalog.AddRelation("R", {"x"});
+  auto w = catalog.AddRelation("W", {"x", "y"});
+  ASSERT_TRUE(r.ok() && w.ok());
+  relational::Database d(&catalog);
+  relational::Database g(&catalog);
+  ASSERT_TRUE(g.Insert({*r, {Value("k")}}).ok());
+  ASSERT_TRUE(g.Insert({*w, {Value("a"), Value("b")}}).ok());
+
+  auto q = query::ParseQuery("(x) :- W(x, y), R('k').", catalog);
+  ASSERT_TRUE(q.ok());
+  crowd::SimulatedOracle oracle(&g);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  common::Rng rng(1);
+  auto result = AddMissingAnswer(*q, &d, relational::Tuple{Value("a")},
+                                 &panel, cleaning::InsertionConfig{}, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->succeeded);
+  EXPECT_TRUE(d.Contains({*r, {Value("k")}}));
+  EXPECT_TRUE(d.Contains({*w, {Value("a"), Value("b")}}));
+}
+
+}  // namespace
+}  // namespace qoco

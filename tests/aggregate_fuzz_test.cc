@@ -1,0 +1,98 @@
+// Randomized property test for the aggregate cleaner: random COUNT views
+// over random databases are always repaired to match the ground truth by
+// a perfect oracle, with individually correct edits.
+
+#include <gtest/gtest.h>
+
+#include "src/cleaning/aggregate_cleaner.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/aggregate.h"
+
+namespace qoco {
+namespace {
+
+using relational::Catalog;
+using relational::Database;
+using relational::Fact;
+using relational::RelationId;
+using relational::Tuple;
+using relational::Value;
+
+class AggregateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateFuzzTest, PerfectOracleRepairsRandomAggregateViews) {
+  common::Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    Catalog catalog;
+    RelationId events = *catalog.AddRelation("E", {"who", "what"});
+    RelationId people = *catalog.AddRelation("P", {"who"});
+
+    const char* kWho[] = {"a", "b", "c"};
+    const char* kWhat[] = {"x", "y", "z", "w"};
+
+    Database truth(&catalog);
+    for (int i = 0; i < 12; ++i) {
+      (void)truth.Insert(Fact{
+          events, {Value(kWho[rng.Index(3)]), Value(kWhat[rng.Index(4)])}});
+    }
+    for (const char* who : kWho) {
+      if (rng.Chance(0.8)) (void)truth.Insert(Fact{people, {Value(who)}});
+    }
+
+    Database dirty = truth;
+    for (const Fact& f : truth.AllFacts()) {
+      if (rng.Chance(0.3)) (void)dirty.Erase(f);
+    }
+    for (int i = 0; i < 4; ++i) {
+      Fact f{events,
+             {Value(kWho[rng.Index(3)]), Value(kWhat[rng.Index(4)])}};
+      if (!truth.Contains(f)) (void)dirty.Insert(f);
+    }
+
+    // View: people with COUNT(DISTINCT what) cmp k over E join P.
+    auto base = query::CQuery::Make(
+        {query::Term::MakeVar(0), query::Term::MakeVar(1)},
+        {query::Atom{events,
+                     {query::Term::MakeVar(0), query::Term::MakeVar(1)}},
+         query::Atom{people, {query::Term::MakeVar(0)}}},
+        {}, {"who", "what"});
+    ASSERT_TRUE(base.ok());
+    auto cmp = rng.Chance(0.5) ? query::AggregateQuery::Cmp::kAtLeast
+                               : query::AggregateQuery::Cmp::kAtMost;
+    size_t threshold = 1 + rng.Index(3);
+    auto agg = query::AggregateQuery::Make(std::move(base).value(), 1, cmp,
+                                           threshold);
+    ASSERT_TRUE(agg.ok());
+
+    crowd::SimulatedOracle oracle(&truth);
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    Database db = dirty;
+    cleaning::AggregateCleaner cleaner(*agg, &db, &panel,
+                                       cleaning::CleanerConfig{},
+                                       common::Rng(GetParam() * 10 + round));
+    auto stats = cleaner.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+    query::AggregateEvaluator cleaned(&db);
+    query::AggregateEvaluator want(&truth);
+    EXPECT_EQ(cleaned.AnswerTuples(*agg), want.AnswerTuples(*agg))
+        << "seed " << GetParam() << " round " << round << " cmp "
+        << (cmp == query::AggregateQuery::Cmp::kAtLeast ? ">=" : "<=")
+        << " k=" << threshold;
+
+    for (const cleaning::Edit& e : stats->edits) {
+      if (e.kind == cleaning::Edit::Kind::kDelete) {
+        EXPECT_FALSE(truth.Contains(e.fact));
+      } else {
+        EXPECT_TRUE(truth.Contains(e.fact));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AggregateFuzzTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace qoco

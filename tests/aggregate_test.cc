@@ -1,0 +1,205 @@
+// Tests for the aggregate extension (Section 9 future work): COUNT-based
+// HAVING views, group/unit decomposition, and aggregate cleaning over the
+// Figure 1 sample — where "European teams that won at least two finals"
+// becomes a true GROUP BY / HAVING COUNT >= 2 instead of a self-join.
+
+#include "src/query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cleaning/aggregate_cleaner.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/imperfect_oracle.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/parser.h"
+#include "src/workload/figure_one.h"
+
+namespace qoco {
+namespace {
+
+using query::AggregateEvaluator;
+using query::AggregateGroup;
+using query::AggregateQuery;
+using relational::Tuple;
+using relational::Value;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sample = workload::MakeFigureOneSample();
+    ASSERT_TRUE(sample.ok());
+    s_ = std::make_unique<workload::FigureOneSample>(std::move(sample).value());
+    // Base: (team, date) pairs of European final wins.
+    auto base = query::ParseQuery(
+        "(x, d) :- Games(d, x, y, 'Final', u), Teams(x, 'EU').",
+        *s_->catalog);
+    ASSERT_TRUE(base.ok());
+    auto agg = AggregateQuery::Make(std::move(base).value(),
+                                    /*group_by_arity=*/1,
+                                    AggregateQuery::Cmp::kAtLeast,
+                                    /*threshold=*/2);
+    ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+    q_ = std::make_unique<AggregateQuery>(std::move(agg).value());
+  }
+
+  std::unique_ptr<workload::FigureOneSample> s_;
+  std::unique_ptr<AggregateQuery> q_;
+};
+
+TEST_F(AggregateTest, MakeValidation) {
+  auto base = query::ParseQuery("(x, d) :- Goals(x, d).", *s_->catalog);
+  ASSERT_TRUE(base.ok());
+  EXPECT_FALSE(AggregateQuery::Make(*base, 0, AggregateQuery::Cmp::kAtLeast,
+                                    1)
+                   .ok());
+  EXPECT_FALSE(AggregateQuery::Make(*base, 2, AggregateQuery::Cmp::kAtLeast,
+                                    1)
+                   .ok());
+  EXPECT_FALSE(AggregateQuery::Make(*base, 1, AggregateQuery::Cmp::kAtLeast,
+                                    0)
+                   .ok());
+  EXPECT_TRUE(AggregateQuery::Make(*base, 1, AggregateQuery::Cmp::kAtMost, 0)
+                  .ok());
+}
+
+TEST_F(AggregateTest, EvaluationMatchesSelfJoinEncoding) {
+  // The aggregate view over D: ESP has 4 final wins, GER 2 -> both
+  // qualify, exactly like the paper's self-join Q1.
+  AggregateEvaluator eval(s_->dirty.get());
+  std::vector<Tuple> answers = eval.AnswerTuples(*q_);
+  EXPECT_EQ(answers, (std::vector<Tuple>{{Value("ESP")}, {Value("GER")}}));
+
+  // Over the ground truth: GER and ITA.
+  AggregateEvaluator truth_eval(s_->ground_truth.get());
+  EXPECT_EQ(truth_eval.AnswerTuples(*q_),
+            (std::vector<Tuple>{{Value("GER")}, {Value("ITA")}}));
+}
+
+TEST_F(AggregateTest, GroupsExposeDistinctUnits) {
+  AggregateEvaluator eval(s_->dirty.get());
+  std::vector<AggregateGroup> groups = eval.EvaluateAllGroups(*q_);
+  const AggregateGroup* esp = nullptr;
+  for (const AggregateGroup& g : groups) {
+    if (g.key == Tuple{Value("ESP")}) esp = &g;
+  }
+  ASSERT_NE(esp, nullptr);
+  EXPECT_EQ(esp->count(), 4u);  // the 2010 win plus three fabrications
+}
+
+TEST_F(AggregateTest, BaseForGroupPinsTheKey) {
+  auto pinned = q_->BaseForGroup({Value("ESP")});
+  ASSERT_TRUE(pinned.ok());
+  query::Evaluator eval(s_->dirty.get());
+  // Its answers are exactly ESP's unit dates.
+  EXPECT_EQ(eval.Evaluate(*pinned).size(), 4u);
+}
+
+TEST_F(AggregateTest, CleanerRepairsTheAggregateView) {
+  crowd::SimulatedOracle oracle(s_->ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s_->dirty;
+  cleaning::AggregateCleaner cleaner(*q_, &db, &panel,
+                                     cleaning::CleanerConfig{},
+                                     common::Rng(5));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  AggregateEvaluator cleaned(&db);
+  AggregateEvaluator truth(s_->ground_truth.get());
+  EXPECT_EQ(cleaned.AnswerTuples(*q_), truth.AnswerTuples(*q_));
+  // Every edit individually correct.
+  for (const cleaning::Edit& e : stats->edits) {
+    if (e.kind == cleaning::Edit::Kind::kDelete) {
+      EXPECT_FALSE(s_->ground_truth->Contains(e.fact));
+    } else {
+      EXPECT_TRUE(s_->ground_truth->Contains(e.fact));
+    }
+  }
+  // ESP dropped below the threshold, ITA raised to it.
+  EXPECT_GE(stats->wrong_answers_removed, 1u);
+  EXPECT_GE(stats->missing_answers_added, 1u);
+}
+
+TEST_F(AggregateTest, CleanViewIsANoOp) {
+  crowd::SimulatedOracle oracle(s_->ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s_->ground_truth;
+  cleaning::AggregateCleaner cleaner(*q_, &db, &panel,
+                                     cleaning::CleanerConfig{},
+                                     common::Rng(5));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->edits.empty());
+}
+
+TEST_F(AggregateTest, AtMostViewRepaired) {
+  // Teams with at most one European final win. Over D, GER (2 wins)
+  // rightly fails; ESP (4 wins in D, 1 in truth) wrongly fails and must
+  // be brought back by deleting its three fabricated wins.
+  auto base = query::ParseQuery(
+      "(x, d) :- Games(d, x, y, 'Final', u), Teams(x, 'EU').", *s_->catalog);
+  ASSERT_TRUE(base.ok());
+  auto at_most = AggregateQuery::Make(std::move(base).value(), 1,
+                                      AggregateQuery::Cmp::kAtMost, 1);
+  ASSERT_TRUE(at_most.ok());
+
+  crowd::SimulatedOracle oracle(s_->ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s_->dirty;
+  cleaning::AggregateCleaner cleaner(*at_most, &db, &panel,
+                                     cleaning::CleanerConfig{},
+                                     common::Rng(5));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  AggregateEvaluator cleaned(&db);
+  std::vector<Tuple> answers = cleaned.AnswerTuples(*at_most);
+  EXPECT_TRUE(std::find(answers.begin(), answers.end(),
+                        Tuple{Value("ESP")}) != answers.end());
+  EXPECT_TRUE(std::find(answers.begin(), answers.end(),
+                        Tuple{Value("GER")}) == answers.end());
+}
+
+}  // namespace
+}  // namespace qoco
+
+namespace qoco {
+namespace {
+
+TEST(AggregateImperfectCrowdTest, MajorityVotingRepairsTheView) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  auto base = query::ParseQuery(
+      "(x, d) :- Games(d, x, y, 'Final', u), Teams(x, 'EU').", *s.catalog);
+  ASSERT_TRUE(base.ok());
+  auto agg = query::AggregateQuery::Make(
+      std::move(base).value(), 1, query::AggregateQuery::Cmp::kAtLeast, 2);
+  ASSERT_TRUE(agg.ok());
+
+  size_t converged = 0;
+  for (uint64_t run = 0; run < 5; ++run) {
+    std::vector<std::unique_ptr<crowd::Oracle>> experts;
+    std::vector<crowd::Oracle*> members;
+    for (uint64_t i = 0; i < 5; ++i) {
+      experts.push_back(std::make_unique<crowd::ImperfectOracle>(
+          s.ground_truth.get(), 0.05, run * 50 + i));
+      members.push_back(experts.back().get());
+    }
+    crowd::CrowdPanel panel(members, crowd::PanelConfig{3});
+    relational::Database db = *s.dirty;
+    cleaning::CleanerConfig config;
+    config.enumeration_nulls_to_stop = 2;
+    cleaning::AggregateCleaner cleaner(*agg, &db, &panel, config,
+                                       common::Rng(run));
+    auto stats = cleaner.Run();
+    ASSERT_TRUE(stats.ok());
+    query::AggregateEvaluator cleaned(&db);
+    query::AggregateEvaluator truth(s.ground_truth.get());
+    if (cleaned.AnswerTuples(*agg) == truth.AnswerTuples(*agg)) ++converged;
+  }
+  EXPECT_GE(converged, 4u);
+}
+
+}  // namespace
+}  // namespace qoco

@@ -1,0 +1,149 @@
+// Algorithm 3 end-to-end tests over the Figure 1 sample and the DBGroup
+// showcase: the cleaner converges to Q(D') = Q(DG), handles the Example
+// 6.1 insertion/deletion interplay, and moves D strictly closer to DG
+// (Proposition 3.3).
+
+#include "src/cleaning/cleaner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/workload/dbgroup.h"
+#include "src/workload/figure_one.h"
+
+namespace qoco {
+namespace {
+
+using cleaning::CleanerConfig;
+using cleaning::CleanerStats;
+using cleaning::QocoCleaner;
+using relational::Tuple;
+using relational::Value;
+
+std::vector<Tuple> Result(const query::CQuery& q,
+                          const relational::Database& db) {
+  query::Evaluator eval(&db);
+  return eval.Evaluate(q).AnswerTuples();
+}
+
+TEST(CleanerTest, ConvergesOnFigureOneQ1) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  crowd::SimulatedOracle oracle(s.ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s.dirty;
+
+  QocoCleaner cleaner(s.q1, &db, &panel, CleanerConfig{}, common::Rng(17));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_EQ(Result(s.q1, db), Result(s.q1, *s.ground_truth));
+  EXPECT_EQ(stats->wrong_answers_removed, 1u);   // ESP
+  EXPECT_EQ(stats->missing_answers_added, 1u);   // ITA
+  EXPECT_GT(stats->edits.size(), 0u);
+}
+
+TEST(CleanerTest, Example61InterplayOnQ2) {
+  // Cleaning Q2 first adds (Pirlo) by inserting Teams(ITA, EU); that
+  // surfaces (Totti) as a wrong answer, which a later iteration removes by
+  // deleting the false Goals fact. The cleaner must converge regardless.
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  crowd::SimulatedOracle oracle(s.ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s.dirty;
+
+  QocoCleaner cleaner(s.q2, &db, &panel, CleanerConfig{}, common::Rng(3));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok());
+
+  EXPECT_EQ(Result(s.q2, db), Result(s.q2, *s.ground_truth));
+  // Teams(ITA, EU) inserted and Goals(Totti, ...) deleted.
+  EXPECT_TRUE(db.Contains({s.teams, {Value("ITA"), Value("EU")}}));
+  EXPECT_FALSE(
+      db.Contains({s.goals, {Value("Francesco Totti"), Value("09.07.06")}}));
+  EXPECT_GE(stats->iterations, 2u);
+}
+
+TEST(CleanerTest, EveryEditMovesTowardGroundTruth) {
+  // Proposition 3.3: apply the edit log incrementally and check the
+  // distance to DG never increases.
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  crowd::SimulatedOracle oracle(s.ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s.dirty;
+  QocoCleaner cleaner(s.q2, &db, &panel, CleanerConfig{}, common::Rng(9));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok());
+
+  relational::Database replay = *s.dirty;
+  size_t distance = replay.Distance(*s.ground_truth);
+  for (const cleaning::Edit& e : stats->edits) {
+    ASSERT_TRUE(cleaning::ApplyEdits({e}, &replay).ok());
+    size_t next = replay.Distance(*s.ground_truth);
+    EXPECT_LE(next, distance) << "edit moved away from ground truth: "
+                              << cleaning::EditToString(e, replay);
+    distance = next;
+  }
+}
+
+TEST(CleanerTest, IdempotentOnCleanView) {
+  // Running the cleaner on an already-correct view asks only verification
+  // questions and performs no edits.
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto s = std::move(sample).value();
+  crowd::SimulatedOracle oracle(s.ground_truth.get());
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  relational::Database db = *s.ground_truth;
+  QocoCleaner cleaner(s.q1, &db, &panel, CleanerConfig{}, common::Rng(4));
+  auto stats = cleaner.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->edits.empty());
+  EXPECT_EQ(stats->wrong_answers_removed, 0u);
+  EXPECT_EQ(stats->missing_answers_added, 0u);
+  EXPECT_EQ(panel.counts().verify_answer, 2u);  // GER and ITA verified once.
+}
+
+TEST(CleanerTest, DbGroupShowcaseMatchesSection71) {
+  // Section 7.1: across the four report queries QOCO discovers 5 wrong and
+  // 7 missing answers, removing 6 wrong tuples and adding 8 missing ones.
+  auto data = workload::MakeDbGroupData(workload::DbGroupParams{});
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  crowd::SimulatedOracle oracle(data->ground_truth.get());
+  relational::Database db = *data->dirty;
+
+  size_t wrong_total = 0;
+  size_t missing_total = 0;
+  size_t deletions = 0;
+  size_t insertions = 0;
+  for (const query::CQuery& q : data->report_queries) {
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    QocoCleaner cleaner(q, &db, &panel, CleanerConfig{}, common::Rng(8));
+    auto stats = cleaner.Run();
+    ASSERT_TRUE(stats.ok());
+    wrong_total += stats->wrong_answers_removed;
+    missing_total += stats->missing_answers_added;
+    for (const cleaning::Edit& e : stats->edits) {
+      if (e.kind == cleaning::Edit::Kind::kDelete) {
+        ++deletions;
+      } else {
+        ++insertions;
+      }
+    }
+    EXPECT_EQ(Result(q, db), Result(q, *data->ground_truth));
+  }
+  EXPECT_EQ(wrong_total, 5u);
+  EXPECT_EQ(missing_total, 7u);
+  EXPECT_EQ(deletions, 6u);
+  EXPECT_EQ(insertions, 8u);
+}
+
+}  // namespace
+}  // namespace qoco

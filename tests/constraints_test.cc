@@ -1,0 +1,191 @@
+// Tests for the constraint extension (Section 9 future work): key and
+// foreign-key machinery, crowd-assisted reconciliation, and
+// constraint-aware insertion in Algorithm 2.
+
+#include "src/relational/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cleaning/add_missing_answer.h"
+#include "src/cleaning/constraint_enforcer.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/parser.h"
+
+namespace qoco {
+namespace {
+
+using relational::ConstraintSet;
+using relational::Fact;
+using relational::ForeignKeyConstraint;
+using relational::KeyConstraint;
+using relational::Value;
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    teams_ = *catalog_.AddRelation("Teams", {"country", "continent"});
+    games_ = *catalog_.AddRelation("Games", {"date", "winner", "loser"});
+    db_ = std::make_unique<relational::Database>(&catalog_);
+    constraints_ = std::make_unique<ConstraintSet>(&catalog_);
+    // Country is a key of Teams; Games.winner references Teams.country.
+    ASSERT_TRUE(constraints_->AddKey(KeyConstraint{teams_, {0}}).ok());
+    ASSERT_TRUE(constraints_
+                    ->AddForeignKey(
+                        ForeignKeyConstraint{games_, {1}, teams_, {0}})
+                    .ok());
+  }
+
+  relational::Catalog catalog_;
+  relational::RelationId teams_ = relational::kInvalidRelation;
+  relational::RelationId games_ = relational::kInvalidRelation;
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<ConstraintSet> constraints_;
+};
+
+TEST_F(ConstraintsTest, RegistrationValidation) {
+  ConstraintSet bad(&catalog_);
+  EXPECT_FALSE(bad.AddKey(KeyConstraint{99, {0}}).ok());
+  EXPECT_FALSE(bad.AddKey(KeyConstraint{teams_, {}}).ok());
+  EXPECT_FALSE(bad.AddKey(KeyConstraint{teams_, {7}}).ok());
+  EXPECT_FALSE(
+      bad.AddForeignKey(ForeignKeyConstraint{games_, {1, 2}, teams_, {0}})
+          .ok());
+}
+
+TEST_F(ConstraintsTest, KeyConflictsDetected) {
+  ASSERT_TRUE(db_->Insert({teams_, {Value("GER"), Value("EU")}}).ok());
+  // Same key, different continent: conflict.
+  std::vector<Fact> conflicts = constraints_->KeyConflicts(
+      *db_, {teams_, {Value("GER"), Value("SA")}});
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].tuple[1], Value("EU"));
+  // Identical tuple: no conflict (idempotent insert).
+  EXPECT_TRUE(constraints_
+                  ->KeyConflicts(*db_, {teams_, {Value("GER"), Value("EU")}})
+                  .empty());
+  // Different key: no conflict.
+  EXPECT_TRUE(constraints_
+                  ->KeyConflicts(*db_, {teams_, {Value("FRA"), Value("EU")}})
+                  .empty());
+}
+
+TEST_F(ConstraintsTest, MissingReferencesDetected) {
+  ASSERT_TRUE(db_->Insert({teams_, {Value("GER"), Value("EU")}}).ok());
+  Fact ok_game{games_, {Value("d1"), Value("GER"), Value("FRA")}};
+  // Winner GER resolves; there is no FK on loser, so no missing refs.
+  EXPECT_TRUE(constraints_->MissingReferences(*db_, ok_game).empty());
+  Fact dangling{games_, {Value("d2"), Value("ITA"), Value("GER")}};
+  auto missing = constraints_->MissingReferences(*db_, dangling);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0].relation, teams_);
+  ASSERT_TRUE(missing[0].pinned[0].has_value());
+  EXPECT_EQ(*missing[0].pinned[0], Value("ITA"));
+  EXPECT_FALSE(missing[0].pinned[1].has_value());
+}
+
+TEST_F(ConstraintsTest, ValidateWholeDatabase) {
+  ASSERT_TRUE(db_->Insert({teams_, {Value("GER"), Value("EU")}}).ok());
+  ASSERT_TRUE(
+      db_->Insert({games_, {Value("d1"), Value("GER"), Value("FRA")}}).ok());
+  EXPECT_TRUE(constraints_->Validate(*db_).ok());
+
+  ASSERT_TRUE(db_->Insert({teams_, {Value("GER"), Value("SA")}}).ok());
+  EXPECT_EQ(constraints_->Validate(*db_).code(),
+            common::StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db_->Erase({teams_, {Value("GER"), Value("SA")}}).ok());
+
+  ASSERT_TRUE(
+      db_->Insert({games_, {Value("d2"), Value("XXX"), Value("GER")}}).ok());
+  EXPECT_EQ(constraints_->Validate(*db_).code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ConstraintsTest, EnforcerDeletesFalseKeyRival) {
+  // D holds the false Teams(NED, SA); DG holds Teams(NED, EU). Inserting
+  // the true fact triggers the key conflict; the crowd refutes the rival.
+  relational::Database truth(&catalog_);
+  ASSERT_TRUE(truth.Insert({teams_, {Value("NED"), Value("EU")}}).ok());
+  ASSERT_TRUE(db_->Insert({teams_, {Value("NED"), Value("SA")}}).ok());
+
+  crowd::SimulatedOracle oracle(&truth);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  cleaning::ConstraintEnforcer enforcer(constraints_.get(), &panel);
+  auto outcome = enforcer.ReconcileInsertion(
+      {teams_, {Value("NED"), Value("EU")}}, db_.get());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->admissible);
+  ASSERT_EQ(outcome->edits.size(), 1u);
+  EXPECT_EQ(outcome->edits[0].kind, cleaning::Edit::Kind::kDelete);
+  EXPECT_FALSE(db_->Contains({teams_, {Value("NED"), Value("SA")}}));
+}
+
+TEST_F(ConstraintsTest, EnforcerRejectsWhenRivalIsTrue) {
+  relational::Database truth(&catalog_);
+  ASSERT_TRUE(truth.Insert({teams_, {Value("NED"), Value("EU")}}).ok());
+  ASSERT_TRUE(db_->Insert({teams_, {Value("NED"), Value("EU")}}).ok());
+
+  crowd::SimulatedOracle oracle(&truth);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  cleaning::ConstraintEnforcer enforcer(constraints_.get(), &panel);
+  // Inserting a *different* continent for NED conflicts with a TRUE fact.
+  auto outcome = enforcer.ReconcileInsertion(
+      {teams_, {Value("NED"), Value("SA")}}, db_.get());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->admissible);
+  EXPECT_TRUE(db_->Contains({teams_, {Value("NED"), Value("EU")}}));
+}
+
+TEST_F(ConstraintsTest, EnforcerCompletesDanglingReference) {
+  relational::Database truth(&catalog_);
+  ASSERT_TRUE(truth.Insert({teams_, {Value("ITA"), Value("EU")}}).ok());
+  ASSERT_TRUE(
+      truth.Insert({games_, {Value("d1"), Value("ITA"), Value("FRA")}}).ok());
+
+  crowd::SimulatedOracle oracle(&truth);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  cleaning::ConstraintEnforcer enforcer(constraints_.get(), &panel);
+  auto outcome = enforcer.ReconcileInsertion(
+      {games_, {Value("d1"), Value("ITA"), Value("FRA")}}, db_.get());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->admissible);
+  // The crowd completed and inserted the referenced Teams(ITA, EU) row.
+  EXPECT_TRUE(db_->Contains({teams_, {Value("ITA"), Value("EU")}}));
+  ASSERT_EQ(outcome->edits.size(), 1u);
+  EXPECT_EQ(outcome->edits[0].kind, cleaning::Edit::Kind::kInsert);
+}
+
+TEST_F(ConstraintsTest, ConstraintAwareInsertionInAlgorithmTwo) {
+  // Q: winners of some game that are European. The Pirlo-style missing
+  // answer requires inserting a Games row whose winner has no Teams row
+  // in D; the FK forces the Teams reference in as well, and the key
+  // constraint deletes the false continent row first.
+  relational::Database truth(&catalog_);
+  ASSERT_TRUE(truth.Insert({teams_, {Value("ITA"), Value("EU")}}).ok());
+  ASSERT_TRUE(
+      truth.Insert({games_, {Value("d1"), Value("ITA"), Value("FRA")}}).ok());
+  // D has a false continent for ITA and no game.
+  ASSERT_TRUE(db_->Insert({teams_, {Value("ITA"), Value("AS")}}).ok());
+
+  auto q = query::ParseQuery("(w) :- Games(d, w, l), Teams(w, 'EU').",
+                             catalog_);
+  ASSERT_TRUE(q.ok());
+
+  crowd::SimulatedOracle oracle(&truth);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  cleaning::InsertionConfig config;
+  config.constraints = constraints_.get();
+  common::Rng rng(2);
+  auto result = cleaning::AddMissingAnswer(
+      *q, db_.get(), {Value("ITA")}, &panel, config, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->succeeded);
+  // The false key rival was removed, the true row and game inserted, and
+  // the final database satisfies all constraints.
+  EXPECT_FALSE(db_->Contains({teams_, {Value("ITA"), Value("AS")}}));
+  EXPECT_TRUE(db_->Contains({teams_, {Value("ITA"), Value("EU")}}));
+  EXPECT_TRUE(constraints_->Validate(*db_).ok());
+}
+
+}  // namespace
+}  // namespace qoco

@@ -1,0 +1,73 @@
+// Unit tests for edits: construction, idempotent application, ordering
+// semantics, and rendering.
+
+#include "src/cleaning/edit.h"
+
+#include <gtest/gtest.h>
+
+namespace qoco::cleaning {
+namespace {
+
+using relational::Fact;
+using relational::Value;
+
+class EditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *catalog_.AddRelation("R", {"x"});
+    db_ = std::make_unique<relational::Database>(&catalog_);
+  }
+
+  relational::Catalog catalog_;
+  relational::RelationId r_ = relational::kInvalidRelation;
+  std::unique_ptr<relational::Database> db_;
+};
+
+TEST_F(EditTest, InsertAndDelete) {
+  Fact f{r_, {Value("a")}};
+  ASSERT_TRUE(ApplyEdits({Edit::Insert(f)}, db_.get()).ok());
+  EXPECT_TRUE(db_->Contains(f));
+  ASSERT_TRUE(ApplyEdits({Edit::Delete(f)}, db_.get()).ok());
+  EXPECT_FALSE(db_->Contains(f));
+}
+
+TEST_F(EditTest, IdempotentApplication) {
+  Fact f{r_, {Value("a")}};
+  // D ⊕ R(ā)+ = D when the fact exists; likewise for deletion.
+  ASSERT_TRUE(ApplyEdits({Edit::Insert(f), Edit::Insert(f)}, db_.get()).ok());
+  EXPECT_EQ(db_->TotalFacts(), 1u);
+  ASSERT_TRUE(ApplyEdits({Edit::Delete(f), Edit::Delete(f)}, db_.get()).ok());
+  EXPECT_EQ(db_->TotalFacts(), 0u);
+}
+
+TEST_F(EditTest, SequenceAppliedInOrder) {
+  Fact f{r_, {Value("a")}};
+  // Insert then delete leaves the database unchanged; delete then insert
+  // leaves the fact present.
+  ASSERT_TRUE(
+      ApplyEdits({Edit::Insert(f), Edit::Delete(f)}, db_.get()).ok());
+  EXPECT_FALSE(db_->Contains(f));
+  ASSERT_TRUE(
+      ApplyEdits({Edit::Delete(f), Edit::Insert(f)}, db_.get()).ok());
+  EXPECT_TRUE(db_->Contains(f));
+}
+
+TEST_F(EditTest, SchemaViolationSurfaces) {
+  Fact bad{r_, {Value("a"), Value("b")}};  // arity 2 into unary relation
+  EXPECT_FALSE(ApplyEdits({Edit::Insert(bad)}, db_.get()).ok());
+}
+
+TEST_F(EditTest, Rendering) {
+  Fact f{r_, {Value("a")}};
+  EXPECT_EQ(EditToString(Edit::Insert(f), *db_), "+R(a)");
+  EXPECT_EQ(EditToString(Edit::Delete(f), *db_), "-R(a)");
+}
+
+TEST_F(EditTest, Equality) {
+  Fact f{r_, {Value("a")}};
+  EXPECT_EQ(Edit::Insert(f), Edit::Insert(f));
+  EXPECT_FALSE(Edit::Insert(f) == Edit::Delete(f));
+}
+
+}  // namespace
+}  // namespace qoco::cleaning

@@ -1,0 +1,88 @@
+// Tests for the experiment harness: seed averaging, crowd wiring, phase
+// toggles and convergence accounting.
+
+#include "src/exp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/figure_one.h"
+
+namespace qoco::exp {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sample = workload::MakeFigureOneSample();
+    ASSERT_TRUE(sample.ok());
+    s_ = std::make_unique<workload::FigureOneSample>(std::move(sample).value());
+  }
+
+  RunSpec BaseSpec() {
+    RunSpec spec;
+    spec.query = &s_->q1;
+    spec.ground_truth = s_->ground_truth.get();
+    spec.dirty = s_->dirty.get();
+    return spec;
+  }
+
+  std::unique_ptr<workload::FigureOneSample> s_;
+};
+
+TEST_F(ExperimentTest, RejectsIncompleteSpecs) {
+  RunSpec spec;
+  EXPECT_FALSE(RunExperiment(spec).ok());
+  spec = BaseSpec();
+  spec.seeds.clear();
+  EXPECT_FALSE(RunExperiment(spec).ok());
+}
+
+TEST_F(ExperimentTest, PerfectOracleConvergesAndAverages) {
+  RunSpec spec = BaseSpec();
+  auto r = RunExperiment(spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->final_result_distance, 0.0);
+  EXPECT_EQ(r->wrong_removed, 1.0);    // ESP, every seed
+  EXPECT_EQ(r->missing_added, 1.0);    // ITA, every seed
+  EXPECT_GT(r->initial_db_distance, r->final_db_distance);
+  // Two answers verified per run regardless of seed.
+  EXPECT_EQ(r->verify_answer, 2.0);
+}
+
+TEST_F(ExperimentTest, DeletionOnlyLeavesMissingAnswer) {
+  RunSpec spec = BaseSpec();
+  spec.cleaner.do_insertion = false;
+  auto r = RunExperiment(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->missing_added, 0.0);
+  // ITA stays missing: result distance 1.
+  EXPECT_EQ(r->final_result_distance, 1.0);
+}
+
+TEST_F(ExperimentTest, InsertionOnlyLeavesWrongAnswer) {
+  RunSpec spec = BaseSpec();
+  spec.cleaner.do_deletion = false;
+  auto r = RunExperiment(spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->wrong_removed, 0.0);
+  EXPECT_EQ(r->missing_added, 1.0);
+  EXPECT_EQ(r->final_result_distance, 1.0);  // ESP stays wrong
+}
+
+TEST_F(ExperimentTest, ImperfectCrowdUsesMoreMemberAnswers) {
+  RunSpec perfect = BaseSpec();
+  auto perfect_r = RunExperiment(perfect);
+  ASSERT_TRUE(perfect_r.ok());
+
+  RunSpec imperfect = BaseSpec();
+  imperfect.num_experts = 5;
+  imperfect.sample_size = 3;
+  imperfect.expert_error_rate = 0.05;
+  imperfect.cleaner.enumeration_nulls_to_stop = 2;
+  auto imperfect_r = RunExperiment(imperfect);
+  ASSERT_TRUE(imperfect_r.ok());
+  EXPECT_GT(imperfect_r->member_answers, perfect_r->member_answers);
+}
+
+}  // namespace
+}  // namespace qoco::exp

@@ -1,0 +1,136 @@
+// Validates that the Figure 1 sample reproduces the paper's worked
+// examples: Example 2.1/2.2 (query results and assignments), Example 4.6
+// (the six witnesses of the wrong answer ESP), Example 5.4 (the missing
+// answer Pirlo and its unique completion), and Example 6.1 (the Totti side
+// effect).
+
+#include "src/workload/figure_one.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/evaluator.h"
+#include "src/relational/value.h"
+
+namespace qoco {
+namespace {
+
+using relational::Tuple;
+using relational::Value;
+using workload::FigureOneSample;
+using workload::MakeFigureOneSample;
+
+class FigureOneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sample = MakeFigureOneSample();
+    ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+    s_ = std::make_unique<FigureOneSample>(std::move(sample).value());
+  }
+
+  std::unique_ptr<FigureOneSample> s_;
+};
+
+TEST_F(FigureOneTest, DirtyAndTruthDiffer) {
+  EXPECT_GT(s_->dirty->Distance(*s_->ground_truth), 0u);
+  EXPECT_GT(s_->dirty->TotalFacts(), 15u);
+}
+
+TEST_F(FigureOneTest, Example21QueryOneOverDirtyDatabase) {
+  query::Evaluator eval(s_->dirty.get());
+  query::EvalResult result = eval.Evaluate(s_->q1);
+  // Q1(D) = {(GER), (ESP)}.
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.ContainsAnswer(Tuple{Value("GER")}));
+  EXPECT_TRUE(result.ContainsAnswer(Tuple{Value("ESP")}));
+}
+
+TEST_F(FigureOneTest, QueryOneOverGroundTruth) {
+  query::Evaluator eval(s_->ground_truth.get());
+  query::EvalResult result = eval.Evaluate(s_->q1);
+  // Q1(DG) = {(GER), (ITA)}: ESP is wrong, ITA is missing.
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_TRUE(result.ContainsAnswer(Tuple{Value("GER")}));
+  EXPECT_TRUE(result.ContainsAnswer(Tuple{Value("ITA")}));
+}
+
+TEST_F(FigureOneTest, Example22GermanyHasTwoAssignments) {
+  query::Evaluator eval(s_->dirty.get());
+  query::EvalResult result = eval.Evaluate(s_->q1);
+  const query::AnswerInfo* ger = result.Find(Tuple{Value("GER")});
+  ASSERT_NE(ger, nullptr);
+  // d1/d2 symmetric over the 2014 and 1990 finals.
+  EXPECT_EQ(ger->assignments.size(), 2u);
+  EXPECT_EQ(ger->witnesses.size(), 1u);
+}
+
+TEST_F(FigureOneTest, Example46SpainHasSixWitnesses) {
+  query::Evaluator eval(s_->dirty.get());
+  query::EvalResult result = eval.Evaluate(s_->q1);
+  const query::AnswerInfo* esp = result.Find(Tuple{Value("ESP")});
+  ASSERT_NE(esp, nullptr);
+  // Four Spanish final wins in D -> C(4,2) = 6 distinct witnesses, each of
+  // three facts (two games + the Teams fact).
+  EXPECT_EQ(esp->witnesses.size(), 6u);
+  for (const provenance::Witness& w : esp->witnesses) {
+    EXPECT_EQ(w.size(), 3u);
+  }
+  // 4*3 ordered date pairs = 12 valid assignments.
+  EXPECT_EQ(esp->assignments.size(), 12u);
+}
+
+TEST_F(FigureOneTest, Example54PirloMissingOnlyBecauseOfTeamsFact) {
+  query::Evaluator dirty_eval(s_->dirty.get());
+  query::EvalResult dirty_result = dirty_eval.Evaluate(s_->q2);
+  EXPECT_TRUE(dirty_result.ContainsAnswer(Tuple{Value("Mario Goetze")}));
+  EXPECT_FALSE(dirty_result.ContainsAnswer(Tuple{Value("Andrea Pirlo")}));
+
+  query::Evaluator truth_eval(s_->ground_truth.get());
+  query::EvalResult truth_result = truth_eval.Evaluate(s_->q2);
+  EXPECT_TRUE(truth_result.ContainsAnswer(Tuple{Value("Andrea Pirlo")}));
+  EXPECT_FALSE(truth_result.ContainsAnswer(Tuple{Value("Francesco Totti")}));
+
+  // Inserting Teams(ITA, EU) suffices to add (Pirlo) to Q2(D).
+  relational::Database patched = *s_->dirty;
+  ASSERT_TRUE(patched
+                  .Insert(relational::Fact{s_->teams,
+                                           {Value("ITA"), Value("EU")}})
+                  .ok());
+  query::Evaluator patched_eval(&patched);
+  EXPECT_TRUE(patched_eval.Evaluate(s_->q2).ContainsAnswer(
+      Tuple{Value("Andrea Pirlo")}));
+}
+
+TEST_F(FigureOneTest, Example61TottiSideEffect) {
+  // After the Pirlo fix, the false Goals(Totti, ...) fact surfaces (Totti)
+  // as a new wrong answer.
+  relational::Database patched = *s_->dirty;
+  ASSERT_TRUE(patched
+                  .Insert(relational::Fact{s_->teams,
+                                           {Value("ITA"), Value("EU")}})
+                  .ok());
+  query::Evaluator eval(&patched);
+  EXPECT_TRUE(eval.Evaluate(s_->q2).ContainsAnswer(
+      Tuple{Value("Francesco Totti")}));
+}
+
+TEST_F(FigureOneTest, Example54SubquerySplitAssignmentCounts) {
+  // Q2|t for t = (Pirlo), split as in the paper: Q' = the three atoms
+  // mentioning Pirlo's bindings, Q'' = Teams(y, EU).
+  auto q2_pirlo = s_->q2.InstantiateAnswer(Tuple{Value("Andrea Pirlo")});
+  ASSERT_TRUE(q2_pirlo.ok());
+  query::CQuery q_prime = q2_pirlo->Subquery({0, 1, 2});
+  query::CQuery q_second = q2_pirlo->Subquery({3});
+
+  query::Evaluator eval(s_->dirty.get());
+  std::vector<query::Assignment> prime = eval.FindExtensions(
+      q_prime, query::Assignment(q2_pirlo->num_vars()), 0);
+  // One valid assignment for Q' w.r.t. D (the 2006 final witness chain).
+  EXPECT_EQ(prime.size(), 1u);
+  std::vector<query::Assignment> second = eval.FindExtensions(
+      q_second, query::Assignment(q2_pirlo->num_vars()), 0);
+  // Three valid assignments for Q'': GER, ESP, BRA.
+  EXPECT_EQ(second.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qoco

@@ -1,0 +1,128 @@
+// Unit tests for the provenance module: Witness normalization and the
+// WhyNot? frontier analysis used by the provenance split.
+
+#include <gtest/gtest.h>
+
+#include "src/provenance/whynot.h"
+#include "src/provenance/witness.h"
+#include "src/query/parser.h"
+#include "src/relational/database.h"
+
+namespace qoco::provenance {
+namespace {
+
+using relational::Fact;
+using relational::Value;
+
+TEST(WitnessTest, SortsAndDeduplicates) {
+  Fact a{0, {Value("a")}};
+  Fact b{0, {Value("b")}};
+  Witness w({b, a, b});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.facts()[0], a);
+  EXPECT_EQ(w.facts()[1], b);
+  EXPECT_TRUE(w.Contains(a));
+  EXPECT_FALSE(w.Contains(Fact{1, {Value("a")}}));
+}
+
+TEST(WitnessTest, EqualityIsContentBased) {
+  Fact a{0, {Value("a")}};
+  Fact b{0, {Value("b")}};
+  EXPECT_EQ(Witness({a, b}), Witness({b, a}));
+  EXPECT_NE(Witness({a}), Witness({b}));
+}
+
+TEST(WitnessTest, DistinctFactsAcrossWitnessSet) {
+  Fact a{0, {Value("a")}};
+  Fact b{0, {Value("b")}};
+  Fact c{0, {Value("c")}};
+  WitnessSet witnesses{Witness({a, b}), Witness({b, c})};
+  std::vector<Fact> distinct = DistinctFacts(witnesses);
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+class WhyNotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r1_ = *catalog_.AddRelation("R1", {"x", "y"});
+    r2_ = *catalog_.AddRelation("R2", {"y", "z"});
+    r3_ = *catalog_.AddRelation("R3", {"z", "w"});
+    db_ = std::make_unique<relational::Database>(&catalog_);
+  }
+
+  query::CQuery Parse(const std::string& text) {
+    auto q = query::ParseQuery(text, catalog_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  relational::Catalog catalog_;
+  relational::RelationId r1_, r2_, r3_;
+  std::unique_ptr<relational::Database> db_;
+};
+
+TEST_F(WhyNotTest, BlamesTheJoinThatFiltersEverything) {
+  // R1 and R2 join fine; R3 is empty, so the join with R3 is to blame.
+  ASSERT_TRUE(db_->Insert({r1_, {Value("a"), Value("b")}}).ok());
+  ASSERT_TRUE(db_->Insert({r2_, {Value("b"), Value("c")}}).ok());
+  query::CQuery q = Parse("(x) :- R1(x, y), R2(y, z), R3(z, w).");
+  WhyNotAnalyzer analyzer(db_.get());
+  auto split = analyzer.Analyze(q);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(split->second, (std::vector<size_t>{2}));
+}
+
+TEST_F(WhyNotTest, MidJoinFrontier) {
+  // R1 nonempty, R2 present but join-incompatible: frontier at atom 1.
+  ASSERT_TRUE(db_->Insert({r1_, {Value("a"), Value("b")}}).ok());
+  ASSERT_TRUE(db_->Insert({r2_, {Value("zzz"), Value("c")}}).ok());
+  ASSERT_TRUE(db_->Insert({r3_, {Value("c"), Value("d")}}).ok());
+  query::CQuery q = Parse("(x) :- R1(x, y), R2(y, z), R3(z, w).");
+  WhyNotAnalyzer analyzer(db_.get());
+  auto split = analyzer.Analyze(q);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, (std::vector<size_t>{0}));
+  EXPECT_EQ(split->second, (std::vector<size_t>{1, 2}));
+}
+
+TEST_F(WhyNotTest, EmptyFirstScan) {
+  // R1 empty: the first scan itself yields nothing.
+  ASSERT_TRUE(db_->Insert({r2_, {Value("b"), Value("c")}}).ok());
+  query::CQuery q = Parse("(x) :- R1(x, y), R2(y, z).");
+  WhyNotAnalyzer analyzer(db_.get());
+  auto split = analyzer.Analyze(q);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, (std::vector<size_t>{0}));
+  EXPECT_EQ(split->second, (std::vector<size_t>{1}));
+}
+
+TEST_F(WhyNotTest, NoAnswerToExplainWhenQueryHasResults) {
+  ASSERT_TRUE(db_->Insert({r1_, {Value("a"), Value("b")}}).ok());
+  ASSERT_TRUE(db_->Insert({r2_, {Value("b"), Value("c")}}).ok());
+  query::CQuery q = Parse("(x) :- R1(x, y), R2(y, z).");
+  WhyNotAnalyzer analyzer(db_.get());
+  EXPECT_FALSE(analyzer.Analyze(q).has_value());
+}
+
+TEST_F(WhyNotTest, SingleAtomQueryNotAnalyzable) {
+  query::CQuery q = Parse("(x) :- R1(x, y).");
+  WhyNotAnalyzer analyzer(db_.get());
+  EXPECT_FALSE(analyzer.Analyze(q).has_value());
+}
+
+TEST_F(WhyNotTest, InequalityCanBeTheKiller) {
+  // The only joinable pair violates the inequality; the frontier lands on
+  // the atom whose addition makes the inequality checkable.
+  ASSERT_TRUE(db_->Insert({r1_, {Value("a"), Value("b")}}).ok());
+  ASSERT_TRUE(db_->Insert({r2_, {Value("b"), Value("a")}}).ok());
+  query::CQuery q = Parse("(x) :- R1(x, y), R2(y, z), x != z.");
+  WhyNotAnalyzer analyzer(db_.get());
+  auto split = analyzer.Analyze(q);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, (std::vector<size_t>{0}));
+  EXPECT_EQ(split->second, (std::vector<size_t>{1}));
+}
+
+}  // namespace
+}  // namespace qoco::provenance

@@ -1,0 +1,143 @@
+// Unit tests for the query model: CQuery::Make validation, variable
+// helpers, Subquery extraction (Definition 5.3), answer instantiation Q|t
+// (Section 5), and UnionQuery.
+
+#include "src/query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/parser.h"
+#include "src/relational/schema.h"
+
+namespace qoco::query {
+namespace {
+
+using relational::Value;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddRelation("R", {"a", "b"}).ok());
+    ASSERT_TRUE(catalog_.AddRelation("S", {"c"}).ok());
+    ASSERT_TRUE(catalog_.AddRelation("T", {"d", "e", "f"}).ok());
+  }
+
+  CQuery Parse(const std::string& text) {
+    auto q = ParseQuery(text, catalog_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  relational::Catalog catalog_;
+};
+
+TEST_F(QueryTest, MakeRejectsUnsafeHead) {
+  // Head variable not in the body.
+  auto q = CQuery::Make(
+      {Term::MakeVar(1)},
+      {Atom{0, {Term::MakeVar(0), Term::MakeVar(0)}}}, {}, {"x", "y"});
+  EXPECT_EQ(q.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, MakeRejectsUnsafeInequality) {
+  auto q = CQuery::Make(
+      {Term::MakeVar(0)},
+      {Atom{0, {Term::MakeVar(0), Term::MakeVar(0)}}},
+      {Inequality{Term::MakeVar(1), Term::MakeConst(Value(1))}}, {"x", "y"});
+  EXPECT_EQ(q.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, MakeRejectsOutOfRangeVarId) {
+  auto q = CQuery::Make({Term::MakeVar(0)},
+                        {Atom{0, {Term::MakeVar(0), Term::MakeVar(7)}}}, {},
+                        {"x"});
+  EXPECT_EQ(q.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, VariableHelpers) {
+  CQuery q = Parse("(x) :- R(x, y), S(z), x != z.");
+  EXPECT_EQ(q.num_vars(), 3u);
+  EXPECT_EQ(q.BodyVars().size(), 3u);
+  EXPECT_EQ(q.HeadVars().size(), 1u);
+  EXPECT_EQ(q.AtomVars(0).size(), 2u);  // x, y
+  EXPECT_EQ(q.AtomVars(1).size(), 1u);  // z
+}
+
+TEST_F(QueryTest, SubqueryKeepsApplicableInequalities) {
+  CQuery q = Parse("(x) :- R(x, y), S(z), x != z, x != 'c'.");
+  // Subquery of atom 0 only: x != z is dropped (z not kept), x != 'c'
+  // stays.
+  CQuery sub = q.Subquery({0});
+  EXPECT_EQ(sub.atoms().size(), 1u);
+  EXPECT_EQ(sub.inequalities().size(), 1u);
+  EXPECT_TRUE(sub.inequalities()[0].rhs.is_constant());
+  // The subquery head lists all kept variables (no projection).
+  EXPECT_EQ(sub.head().size(), 2u);
+  // Variable table is shared with the parent.
+  EXPECT_EQ(sub.num_vars(), q.num_vars());
+}
+
+TEST_F(QueryTest, SubqueryBothAtomsKeepsEverything) {
+  CQuery q = Parse("(x) :- R(x, y), S(z), x != z.");
+  CQuery sub = q.Subquery({0, 1});
+  EXPECT_EQ(sub.atoms().size(), 2u);
+  EXPECT_EQ(sub.inequalities().size(), 1u);
+  EXPECT_EQ(sub.head().size(), 3u);
+}
+
+TEST_F(QueryTest, InstantiateAnswerSubstitutesEverywhere) {
+  CQuery q = Parse("(x) :- R(x, y), S(x), x != y.");
+  auto q_t = q.InstantiateAnswer({Value("v")});
+  ASSERT_TRUE(q_t.ok());
+  // x replaced by the constant 'v' in both atoms and the inequality.
+  EXPECT_TRUE(q_t->atoms()[0].terms[0].is_constant());
+  EXPECT_EQ(q_t->atoms()[0].terms[0].constant(), Value("v"));
+  EXPECT_TRUE(q_t->atoms()[1].terms[0].is_constant());
+  EXPECT_TRUE(q_t->inequalities()[0].lhs.is_constant());
+  // The new head holds the remaining variable y.
+  ASSERT_EQ(q_t->head().size(), 1u);
+  EXPECT_TRUE(q_t->head()[0].is_variable());
+}
+
+TEST_F(QueryTest, InstantiateAnswerArityMismatch) {
+  CQuery q = Parse("(x) :- R(x, y).");
+  EXPECT_FALSE(q.InstantiateAnswer({Value("a"), Value("b")}).ok());
+}
+
+TEST_F(QueryTest, InstantiateAnswerRepeatedHeadVarConflict) {
+  CQuery q = Parse("(x, x) :- R(x, y).");
+  EXPECT_FALSE(q.InstantiateAnswer({Value("a"), Value("b")}).ok());
+  EXPECT_TRUE(q.InstantiateAnswer({Value("a"), Value("a")}).ok());
+}
+
+TEST_F(QueryTest, InstantiateAnswerConstantHead) {
+  CQuery q = Parse("(x, 'tag') :- R(x, y).");
+  EXPECT_TRUE(q.InstantiateAnswer({Value("a"), Value("tag")}).ok());
+  EXPECT_FALSE(q.InstantiateAnswer({Value("a"), Value("other")}).ok());
+}
+
+TEST_F(QueryTest, ToStringRoundTripsThroughParser) {
+  CQuery q = Parse("(x) :- R(x, y), T(x, 'k', z), y != z, x != 'GER'.");
+  std::string text = q.ToString(catalog_);
+  auto reparsed = ParseQuery(text, catalog_);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed->atoms().size(), q.atoms().size());
+  EXPECT_EQ(reparsed->inequalities().size(), q.inequalities().size());
+  EXPECT_EQ(reparsed->ToString(catalog_), text);
+}
+
+TEST_F(QueryTest, UnionQueryValidation) {
+  CQuery a = Parse("(x) :- R(x, y).");
+  CQuery b = Parse("(z) :- S(z).");
+  auto u = UnionQuery::Make({a, b});
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->disjuncts().size(), 2u);
+  EXPECT_EQ(u->head_arity(), 1u);
+
+  CQuery wide = Parse("(x, y) :- R(x, y).");
+  EXPECT_FALSE(UnionQuery::Make({a, wide}).ok());
+  EXPECT_FALSE(UnionQuery::Make({}).ok());
+}
+
+}  // namespace
+}  // namespace qoco::query

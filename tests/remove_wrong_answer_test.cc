@@ -1,0 +1,150 @@
+// Algorithm 1 tests: the Example 4.6 walkthrough, policy comparisons, and
+// correctness invariants (only false facts deleted; the wrong answer is
+// gone afterwards; QOCO never asks more than QOCO-).
+
+#include "src/cleaning/remove_wrong_answer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cleaning/edit.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/query/parser.h"
+#include "src/workload/figure_one.h"
+
+namespace qoco {
+namespace {
+
+using cleaning::DeletionPolicy;
+using cleaning::RemoveResult;
+using cleaning::RemoveWrongAnswer;
+using relational::Tuple;
+using relational::Value;
+
+class RemoveWrongAnswerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto sample = workload::MakeFigureOneSample();
+    ASSERT_TRUE(sample.ok());
+    s_ = std::make_unique<workload::FigureOneSample>(std::move(sample).value());
+    oracle_ = std::make_unique<crowd::SimulatedOracle>(s_->ground_truth.get());
+  }
+
+  RemoveResult Run(DeletionPolicy policy, uint64_t seed,
+                   crowd::QuestionCounts* counts = nullptr) {
+    crowd::CrowdPanel panel({oracle_.get()}, crowd::PanelConfig{1});
+    common::Rng rng(seed);
+    auto result = RemoveWrongAnswer(s_->q1, *s_->dirty, Tuple{Value("ESP")},
+                                    &panel, policy, &rng);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (counts != nullptr) *counts = panel.counts();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<workload::FigureOneSample> s_;
+  std::unique_ptr<crowd::SimulatedOracle> oracle_;
+};
+
+TEST_F(RemoveWrongAnswerTest, Example46UpperBoundIsFiveDistinctFacts) {
+  RemoveResult r = Run(DeletionPolicy::kQoco, 1);
+  // t1, t2, t4, t5 (games) + t3 (Teams) = 5 distinct witness facts.
+  EXPECT_EQ(r.distinct_witness_facts, 5u);
+}
+
+TEST_F(RemoveWrongAnswerTest, DeletesExactlyTheFalseSpanishWins) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RemoveResult r = Run(DeletionPolicy::kQoco, seed);
+    // The three fabricated wins (98, 94, 78) form the only all-false
+    // hitting set reachable by correct answers.
+    EXPECT_EQ(r.edits.size(), 3u) << "seed " << seed;
+    for (const cleaning::Edit& e : r.edits) {
+      EXPECT_EQ(e.kind, cleaning::Edit::Kind::kDelete);
+      EXPECT_FALSE(s_->ground_truth->Contains(e.fact))
+          << "deleted a true fact: " << s_->dirty->FactToString(e.fact);
+    }
+  }
+}
+
+TEST_F(RemoveWrongAnswerTest, RemovalEliminatesTheWrongAnswer) {
+  for (DeletionPolicy policy :
+       {DeletionPolicy::kQoco, DeletionPolicy::kQocoMinus,
+        DeletionPolicy::kRandom}) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      RemoveResult r = Run(policy, seed);
+      relational::Database db = *s_->dirty;
+      ASSERT_TRUE(cleaning::ApplyEdits(r.edits, &db).ok());
+      query::Evaluator eval(&db);
+      EXPECT_FALSE(
+          eval.Evaluate(s_->q1).ContainsAnswer(Tuple{Value("ESP")}))
+          << cleaning::DeletionPolicyName(policy) << " seed " << seed;
+      // The correct answer GER must survive.
+      EXPECT_TRUE(eval.Evaluate(s_->q1).ContainsAnswer(Tuple{Value("GER")}));
+    }
+  }
+}
+
+TEST_F(RemoveWrongAnswerTest, QocoNeverAsksMoreThanUpperBound) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RemoveResult r = Run(DeletionPolicy::kQoco, seed);
+    EXPECT_LE(r.questions_asked, r.distinct_witness_facts);
+    // The unique-minimal-hitting-set shortcut saves at least one question
+    // on this instance (the last two deletions are inferred).
+    EXPECT_LT(r.questions_asked, r.distinct_witness_facts);
+  }
+}
+
+TEST_F(RemoveWrongAnswerTest, QocoMinusAsksAtLeastAsMuchAsQoco) {
+  double qoco_total = 0;
+  double minus_total = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    qoco_total += static_cast<double>(Run(DeletionPolicy::kQoco, seed).questions_asked);
+    minus_total += static_cast<double>(
+        Run(DeletionPolicy::kQocoMinus, seed).questions_asked);
+  }
+  EXPECT_LE(qoco_total, minus_total);
+}
+
+TEST_F(RemoveWrongAnswerTest, AbsentAnswerYieldsNoEdits) {
+  crowd::CrowdPanel panel({oracle_.get()}, crowd::PanelConfig{1});
+  common::Rng rng(7);
+  auto result = RemoveWrongAnswer(s_->q1, *s_->dirty, Tuple{Value("FRA")},
+                                  &panel, DeletionPolicy::kQoco, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->edits.empty());
+  EXPECT_EQ(panel.counts().verify_fact, 0u);
+}
+
+TEST_F(RemoveWrongAnswerTest, SingletonWitnessesNeedNoQuestions) {
+  // A wrong answer whose witnesses are all singletons has a unique minimal
+  // hitting set (Theorem 4.5): QOCO derives the edits without any crowd
+  // question.
+  relational::Catalog catalog;
+  auto r = catalog.AddRelation("R", {"z", "x"});
+  ASSERT_TRUE(r.ok());
+  relational::Database d(&catalog);
+  relational::Database g(&catalog);
+  ASSERT_TRUE(d.Insert({*r, {Value("d"), Value("a")}}).ok());
+  ASSERT_TRUE(d.Insert({*r, {Value("d"), Value("b")}}).ok());
+
+  auto q = query::ParseQuery("(z) :- R(z, x).", catalog);
+  ASSERT_TRUE(q.ok());
+  crowd::SimulatedOracle oracle(&g);
+  crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+  common::Rng rng(3);
+  auto result = RemoveWrongAnswer(*q, d, Tuple{Value("d")}, &panel,
+                                  DeletionPolicy::kQoco, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edits.size(), 2u);
+  EXPECT_EQ(panel.counts().verify_fact, 0u);
+
+  // QOCO- on the same instance pays for both facts.
+  crowd::CrowdPanel panel_minus({&oracle}, crowd::PanelConfig{1});
+  auto minus = RemoveWrongAnswer(*q, d, Tuple{Value("d")}, &panel_minus,
+                                 DeletionPolicy::kQocoMinus, &rng);
+  ASSERT_TRUE(minus.ok());
+  EXPECT_EQ(panel_minus.counts().verify_fact, 2u);
+}
+
+}  // namespace
+}  // namespace qoco
