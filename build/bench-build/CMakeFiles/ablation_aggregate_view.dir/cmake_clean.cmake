@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aggregate_view"
+  "../bench/ablation_aggregate_view.pdb"
+  "CMakeFiles/ablation_aggregate_view.dir/ablation_aggregate_view.cc.o"
+  "CMakeFiles/ablation_aggregate_view.dir/ablation_aggregate_view.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregate_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cleanliness"
+  "../bench/ablation_cleanliness.pdb"
+  "CMakeFiles/ablation_cleanliness.dir/ablation_cleanliness.cc.o"
+  "CMakeFiles/ablation_cleanliness.dir/ablation_cleanliness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleanliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

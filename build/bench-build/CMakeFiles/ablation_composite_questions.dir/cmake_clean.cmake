@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_composite_questions"
+  "../bench/ablation_composite_questions.pdb"
+  "CMakeFiles/ablation_composite_questions.dir/ablation_composite_questions.cc.o"
+  "CMakeFiles/ablation_composite_questions.dir/ablation_composite_questions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_composite_questions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

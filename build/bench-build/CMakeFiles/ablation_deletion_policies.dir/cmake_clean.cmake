@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deletion_policies"
+  "../bench/ablation_deletion_policies.pdb"
+  "CMakeFiles/ablation_deletion_policies.dir/ablation_deletion_policies.cc.o"
+  "CMakeFiles/ablation_deletion_policies.dir/ablation_deletion_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deletion_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

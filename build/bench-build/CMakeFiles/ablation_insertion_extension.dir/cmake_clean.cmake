@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_insertion_extension"
+  "../bench/ablation_insertion_extension.pdb"
+  "CMakeFiles/ablation_insertion_extension.dir/ablation_insertion_extension.cc.o"
+  "CMakeFiles/ablation_insertion_extension.dir/ablation_insertion_extension.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insertion_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

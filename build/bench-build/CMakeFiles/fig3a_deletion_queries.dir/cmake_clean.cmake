@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_deletion_queries"
+  "../bench/fig3a_deletion_queries.pdb"
+  "CMakeFiles/fig3a_deletion_queries.dir/fig3a_deletion_queries.cc.o"
+  "CMakeFiles/fig3a_deletion_queries.dir/fig3a_deletion_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_deletion_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

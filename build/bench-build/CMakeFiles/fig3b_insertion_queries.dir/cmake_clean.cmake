@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_insertion_queries"
+  "../bench/fig3b_insertion_queries.pdb"
+  "CMakeFiles/fig3b_insertion_queries.dir/fig3b_insertion_queries.cc.o"
+  "CMakeFiles/fig3b_insertion_queries.dir/fig3b_insertion_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_insertion_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_mixed_queries"
+  "../bench/fig3c_mixed_queries.pdb"
+  "CMakeFiles/fig3c_mixed_queries.dir/fig3c_mixed_queries.cc.o"
+  "CMakeFiles/fig3c_mixed_queries.dir/fig3c_mixed_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_mixed_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

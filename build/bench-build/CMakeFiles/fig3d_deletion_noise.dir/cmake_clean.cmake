@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3d_deletion_noise"
+  "../bench/fig3d_deletion_noise.pdb"
+  "CMakeFiles/fig3d_deletion_noise.dir/fig3d_deletion_noise.cc.o"
+  "CMakeFiles/fig3d_deletion_noise.dir/fig3d_deletion_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_deletion_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3d_deletion_noise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3e_insertion_noise"
+  "../bench/fig3e_insertion_noise.pdb"
+  "CMakeFiles/fig3e_insertion_noise.dir/fig3e_insertion_noise.cc.o"
+  "CMakeFiles/fig3e_insertion_noise.dir/fig3e_insertion_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3e_insertion_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

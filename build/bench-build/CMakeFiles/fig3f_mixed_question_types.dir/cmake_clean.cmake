@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3f_mixed_question_types"
+  "../bench/fig3f_mixed_question_types.pdb"
+  "CMakeFiles/fig3f_mixed_question_types.dir/fig3f_mixed_question_types.cc.o"
+  "CMakeFiles/fig3f_mixed_question_types.dir/fig3f_mixed_question_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3f_mixed_question_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3f_mixed_question_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_imperfect_crowd"
+  "../bench/fig4_imperfect_crowd.pdb"
+  "CMakeFiles/fig4_imperfect_crowd.dir/fig4_imperfect_crowd.cc.o"
+  "CMakeFiles/fig4_imperfect_crowd.dir/fig4_imperfect_crowd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_imperfect_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

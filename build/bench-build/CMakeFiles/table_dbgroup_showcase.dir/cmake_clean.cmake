@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_dbgroup_showcase"
+  "../bench/table_dbgroup_showcase.pdb"
+  "CMakeFiles/table_dbgroup_showcase.dir/table_dbgroup_showcase.cc.o"
+  "CMakeFiles/table_dbgroup_showcase.dir/table_dbgroup_showcase.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_dbgroup_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

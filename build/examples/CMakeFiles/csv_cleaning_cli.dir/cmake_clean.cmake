@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_cleaning_cli.dir/csv_cleaning_cli.cpp.o"
+  "CMakeFiles/csv_cleaning_cli.dir/csv_cleaning_cli.cpp.o.d"
+  "csv_cleaning_cli"
+  "csv_cleaning_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_cleaning_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgroup_report.dir/dbgroup_report.cpp.o"
+  "CMakeFiles/dbgroup_report.dir/dbgroup_report.cpp.o.d"
+  "dbgroup_report"
+  "dbgroup_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgroup_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

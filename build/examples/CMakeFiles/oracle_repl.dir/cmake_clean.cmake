@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_repl.dir/oracle_repl.cpp.o"
+  "CMakeFiles/oracle_repl.dir/oracle_repl.cpp.o.d"
+  "oracle_repl"
+  "oracle_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

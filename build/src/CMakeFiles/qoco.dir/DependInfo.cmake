@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cleaning/add_missing_answer.cc" "src/CMakeFiles/qoco.dir/cleaning/add_missing_answer.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/add_missing_answer.cc.o.d"
+  "/root/repo/src/cleaning/aggregate_cleaner.cc" "src/CMakeFiles/qoco.dir/cleaning/aggregate_cleaner.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/aggregate_cleaner.cc.o.d"
+  "/root/repo/src/cleaning/cleaner.cc" "src/CMakeFiles/qoco.dir/cleaning/cleaner.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/cleaner.cc.o.d"
+  "/root/repo/src/cleaning/constraint_enforcer.cc" "src/CMakeFiles/qoco.dir/cleaning/constraint_enforcer.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/constraint_enforcer.cc.o.d"
+  "/root/repo/src/cleaning/edit.cc" "src/CMakeFiles/qoco.dir/cleaning/edit.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/edit.cc.o.d"
+  "/root/repo/src/cleaning/reductions.cc" "src/CMakeFiles/qoco.dir/cleaning/reductions.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/reductions.cc.o.d"
+  "/root/repo/src/cleaning/remove_wrong_answer.cc" "src/CMakeFiles/qoco.dir/cleaning/remove_wrong_answer.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/remove_wrong_answer.cc.o.d"
+  "/root/repo/src/cleaning/split_strategy.cc" "src/CMakeFiles/qoco.dir/cleaning/split_strategy.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/split_strategy.cc.o.d"
+  "/root/repo/src/cleaning/union_cleaner.cc" "src/CMakeFiles/qoco.dir/cleaning/union_cleaner.cc.o" "gcc" "src/CMakeFiles/qoco.dir/cleaning/union_cleaner.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qoco.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qoco.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/qoco.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/qoco.dir/common/strings.cc.o.d"
+  "/root/repo/src/crowd/crowd_panel.cc" "src/CMakeFiles/qoco.dir/crowd/crowd_panel.cc.o" "gcc" "src/CMakeFiles/qoco.dir/crowd/crowd_panel.cc.o.d"
+  "/root/repo/src/crowd/enumeration_estimator.cc" "src/CMakeFiles/qoco.dir/crowd/enumeration_estimator.cc.o" "gcc" "src/CMakeFiles/qoco.dir/crowd/enumeration_estimator.cc.o.d"
+  "/root/repo/src/crowd/imperfect_oracle.cc" "src/CMakeFiles/qoco.dir/crowd/imperfect_oracle.cc.o" "gcc" "src/CMakeFiles/qoco.dir/crowd/imperfect_oracle.cc.o.d"
+  "/root/repo/src/crowd/question_log.cc" "src/CMakeFiles/qoco.dir/crowd/question_log.cc.o" "gcc" "src/CMakeFiles/qoco.dir/crowd/question_log.cc.o.d"
+  "/root/repo/src/crowd/simulated_oracle.cc" "src/CMakeFiles/qoco.dir/crowd/simulated_oracle.cc.o" "gcc" "src/CMakeFiles/qoco.dir/crowd/simulated_oracle.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/qoco.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/qoco.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/qoco.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/qoco.dir/graph/graph.cc.o.d"
+  "/root/repo/src/hittingset/hitting_set.cc" "src/CMakeFiles/qoco.dir/hittingset/hitting_set.cc.o" "gcc" "src/CMakeFiles/qoco.dir/hittingset/hitting_set.cc.o.d"
+  "/root/repo/src/provenance/whynot.cc" "src/CMakeFiles/qoco.dir/provenance/whynot.cc.o" "gcc" "src/CMakeFiles/qoco.dir/provenance/whynot.cc.o.d"
+  "/root/repo/src/provenance/witness.cc" "src/CMakeFiles/qoco.dir/provenance/witness.cc.o" "gcc" "src/CMakeFiles/qoco.dir/provenance/witness.cc.o.d"
+  "/root/repo/src/qoco/session.cc" "src/CMakeFiles/qoco.dir/qoco/session.cc.o" "gcc" "src/CMakeFiles/qoco.dir/qoco/session.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/qoco.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/qoco.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/assignment.cc" "src/CMakeFiles/qoco.dir/query/assignment.cc.o" "gcc" "src/CMakeFiles/qoco.dir/query/assignment.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/qoco.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/qoco.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/qoco.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/qoco.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/qoco.dir/query/query.cc.o" "gcc" "src/CMakeFiles/qoco.dir/query/query.cc.o.d"
+  "/root/repo/src/relational/constraints.cc" "src/CMakeFiles/qoco.dir/relational/constraints.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/constraints.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/qoco.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/qoco.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/journal.cc" "src/CMakeFiles/qoco.dir/relational/journal.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/journal.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/qoco.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/qoco.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/qoco.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/qoco.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/qoco.dir/relational/value.cc.o.d"
+  "/root/repo/src/workload/dbgroup.cc" "src/CMakeFiles/qoco.dir/workload/dbgroup.cc.o" "gcc" "src/CMakeFiles/qoco.dir/workload/dbgroup.cc.o.d"
+  "/root/repo/src/workload/figure_one.cc" "src/CMakeFiles/qoco.dir/workload/figure_one.cc.o" "gcc" "src/CMakeFiles/qoco.dir/workload/figure_one.cc.o.d"
+  "/root/repo/src/workload/noise.cc" "src/CMakeFiles/qoco.dir/workload/noise.cc.o" "gcc" "src/CMakeFiles/qoco.dir/workload/noise.cc.o.d"
+  "/root/repo/src/workload/soccer.cc" "src/CMakeFiles/qoco.dir/workload/soccer.cc.o" "gcc" "src/CMakeFiles/qoco.dir/workload/soccer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/add_missing_answer_test.dir/add_missing_answer_test.cc.o"
+  "CMakeFiles/add_missing_answer_test.dir/add_missing_answer_test.cc.o.d"
+  "add_missing_answer_test"
+  "add_missing_answer_test.pdb"
+  "add_missing_answer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/add_missing_answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_fuzz_test.dir/aggregate_fuzz_test.cc.o"
+  "CMakeFiles/aggregate_fuzz_test.dir/aggregate_fuzz_test.cc.o.d"
+  "aggregate_fuzz_test"
+  "aggregate_fuzz_test.pdb"
+  "aggregate_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deletion_policies_test.dir/deletion_policies_test.cc.o"
+  "CMakeFiles/deletion_policies_test.dir/deletion_policies_test.cc.o.d"
+  "deletion_policies_test"
+  "deletion_policies_test.pdb"
+  "deletion_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deletion_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

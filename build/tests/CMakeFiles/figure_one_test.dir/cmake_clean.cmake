@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_one_test.dir/figure_one_test.cc.o"
+  "CMakeFiles/figure_one_test.dir/figure_one_test.cc.o.d"
+  "figure_one_test"
+  "figure_one_test.pdb"
+  "figure_one_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_one_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remove_wrong_answer_test.dir/remove_wrong_answer_test.cc.o"
+  "CMakeFiles/remove_wrong_answer_test.dir/remove_wrong_answer_test.cc.o.d"
+  "remove_wrong_answer_test"
+  "remove_wrong_answer_test.pdb"
+  "remove_wrong_answer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remove_wrong_answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

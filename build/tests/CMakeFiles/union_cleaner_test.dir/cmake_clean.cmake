@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_cleaner_test.dir/union_cleaner_test.cc.o"
+  "CMakeFiles/union_cleaner_test.dir/union_cleaner_test.cc.o.d"
+  "union_cleaner_test"
+  "union_cleaner_test.pdb"
+  "union_cleaner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

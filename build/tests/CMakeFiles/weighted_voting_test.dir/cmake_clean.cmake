@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_voting_test.dir/weighted_voting_test.cc.o"
+  "CMakeFiles/weighted_voting_test.dir/weighted_voting_test.cc.o.d"
+  "weighted_voting_test"
+  "weighted_voting_test.pdb"
+  "weighted_voting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_voting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
