@@ -1,11 +1,13 @@
 #include "src/cleaning/aggregate_cleaner.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "src/cleaning/add_missing_answer.h"
 #include "src/cleaning/remove_wrong_answer.h"
 #include "src/crowd/enumeration_estimator.h"
+#include "src/query/evaluator.h"
 
 namespace qoco::cleaning {
 
@@ -19,6 +21,17 @@ relational::Tuple Concat(const relational::Tuple& a,
 }
 
 }  // namespace
+
+void AggregateCleaner::SyncBaseView(const EditList& edits) {
+  if (base_view_ == nullptr) return;
+  for (const Edit& e : edits) {
+    if (e.kind == Edit::Kind::kInsert) {
+      base_view_->OnInsert(e.fact);
+    } else {
+      base_view_->OnErase(e.fact);
+    }
+  }
+}
 
 std::vector<relational::Tuple> AggregateCleaner::UnitsOf(
     const relational::Tuple& group) const {
@@ -53,6 +66,7 @@ common::Result<bool> AggregateCleaner::ShrinkGroup(
         RemoveWrongAnswer(q_.base(), *db_, Concat(group.key, unit), panel_,
                           config_.deletion_policy, &rng_, config_.trust));
     QOCO_RETURN_NOT_OK(ApplyEdits(removal.edits, db_));
+    SyncBaseView(removal.edits);
     stats->edits.insert(stats->edits.end(), removal.edits.begin(),
                         removal.edits.end());
     stats->deletion_upper_bound += removal.distinct_witness_facts;
@@ -89,6 +103,7 @@ common::Result<bool> AggregateCleaner::GrowGroup(
         InsertResult insertion,
         AddMissingAnswer(q_.base(), db_, Concat(group, *missing_unit),
                          panel_, config_.insertion, &rng_));
+    SyncBaseView(insertion.edits);
     stats->edits.insert(stats->edits.end(), insertion.edits.begin(),
                         insertion.edits.end());
     stats->insertion_upper_bound += insertion.naive_upper_bound_vars;
@@ -102,6 +117,13 @@ common::Result<CleanerStats> AggregateCleaner::Run() {
   CleanerStats stats;
   crowd::QuestionCounts baseline = panel_->counts();
   std::set<relational::Tuple> verified_groups;
+
+  // Incremental path: materialize the base query once and delta-maintain
+  // it across every edit of the session; phase B's repeated "current base
+  // answers" reads then cost nothing.
+  std::optional<query::IncrementalView> base_view;
+  if (config_.incremental_eval) base_view.emplace(q_.base(), db_);
+  base_view_ = base_view.has_value() ? &*base_view : nullptr;
 
   bool changed = true;
   while (changed && stats.iterations < config_.max_iterations) {
@@ -162,9 +184,13 @@ common::Result<CleanerStats> AggregateCleaner::Run() {
     crowd::EnumerationEstimator estimator(config_.enumeration_nulls_to_stop);
     std::set<relational::Tuple> attempted;
     while (!estimator.IsLikelyComplete()) {
-      query::Evaluator base_eval(db_);
-      std::vector<relational::Tuple> base_answers =
-          base_eval.Evaluate(q_.base()).AnswerTuples();
+      std::vector<relational::Tuple> base_answers;
+      if (base_view_ != nullptr) {
+        base_answers = base_view_->result().AnswerTuples();
+      } else {
+        query::Evaluator base_eval(db_);
+        base_answers = base_eval.Evaluate(q_.base()).AnswerTuples();
+      }
       std::optional<relational::Tuple> missing_base =
           panel_->MissingAnswer(q_.base(), base_answers);
       if (missing_base.has_value() &&
@@ -184,6 +210,7 @@ common::Result<CleanerStats> AggregateCleaner::Run() {
           InsertResult insertion,
           AddMissingAnswer(q_.base(), db_, *missing_base, panel_,
                            config_.insertion, &rng_));
+      SyncBaseView(insertion.edits);
       stats.edits.insert(stats.edits.end(), insertion.edits.begin(),
                          insertion.edits.end());
       stats.insertion_upper_bound += insertion.naive_upper_bound_vars;
@@ -199,6 +226,7 @@ common::Result<CleanerStats> AggregateCleaner::Run() {
     }
   }
 
+  base_view_ = nullptr;
   stats.questions = panel_->counts() - baseline;
   return stats;
 }

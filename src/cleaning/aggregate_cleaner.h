@@ -3,6 +3,7 @@
 
 #include "src/cleaning/cleaner.h"
 #include "src/query/aggregate.h"
+#include "src/query/incremental_view.h"
 
 namespace qoco::cleaning {
 
@@ -52,11 +53,18 @@ class AggregateCleaner {
   /// Current units of `group` over D.
   std::vector<relational::Tuple> UnitsOf(const relational::Tuple& group) const;
 
+  /// Replays already-applied edits into the maintained base-query view
+  /// (no-op on the full-reevaluation path).
+  void SyncBaseView(const EditList& edits);
+
   const query::AggregateQuery& q_;
   relational::Database* db_;
   crowd::CrowdPanel* panel_;
   CleanerConfig config_;
   common::Rng rng_;
+  /// Set for the duration of Run() on the incremental path: the maintained
+  /// base-query view backing phase B's missing-base-answer enumeration.
+  query::IncrementalView* base_view_ = nullptr;
 };
 
 }  // namespace qoco::cleaning

@@ -1,15 +1,36 @@
 #include "src/cleaning/cleaner.h"
 
+#include <optional>
 #include <set>
 
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
+#include "src/query/incremental_view.h"
 
 namespace qoco::cleaning {
 
 common::Result<CleanerStats> QocoCleaner::Run() {
   CleanerStats stats;
   query::Evaluator evaluator(db_);
+  // Incremental path: pay full-query cost once here, delta cost per edit.
+  std::optional<query::IncrementalView> view;
+  if (config_.incremental_eval) view.emplace(q_, db_);
+  // The refreshed view after the edits applied so far.
+  auto current_answers = [&]() {
+    return view.has_value() ? view->result().AnswerTuples()
+                            : evaluator.Evaluate(q_).AnswerTuples();
+  };
+  // Replays already-applied edits into the view (delta maintenance).
+  auto sync_view = [&](const EditList& edits) {
+    if (!view.has_value()) return;
+    for (const Edit& e : edits) {
+      if (e.kind == Edit::Kind::kInsert) {
+        view->OnInsert(e.fact);
+      } else {
+        view->OnErase(e.fact);
+      }
+    }
+  };
   std::set<relational::Tuple> verified;
   crowd::QuestionCounts baseline = panel_->counts();
 
@@ -17,8 +38,7 @@ common::Result<CleanerStats> QocoCleaner::Run() {
   while (stats.iterations < config_.max_iterations) {
     // Re-entry condition (line 1): first iteration, or unverified answers
     // remain (insertions/deletions may have created new errors).
-    std::vector<relational::Tuple> current =
-        evaluator.Evaluate(q_).AnswerTuples();
+    std::vector<relational::Tuple> current = current_answers();
     bool has_unverified = false;
     for (const relational::Tuple& t : current) {
       if (!verified.contains(t)) has_unverified = true;
@@ -30,10 +50,10 @@ common::Result<CleanerStats> QocoCleaner::Run() {
     ++stats.iterations;
 
     // Deletion part (lines 2-6): verify every unverified answer; remove
-    // the wrong ones. Re-evaluate after each removal since edits can
-    // change the result.
+    // the wrong ones. The view refreshes after each removal since edits
+    // can change the result.
     while (config_.do_deletion) {
-      current = evaluator.Evaluate(q_).AnswerTuples();
+      current = current_answers();
       const relational::Tuple* next_unverified = nullptr;
       for (const relational::Tuple& t : current) {
         if (!verified.contains(t)) {
@@ -47,10 +67,21 @@ common::Result<CleanerStats> QocoCleaner::Run() {
         verified.insert(t);
         continue;
       }
-      QOCO_ASSIGN_OR_RETURN(
-          RemoveResult removal,
-          RemoveWrongAnswer(q_, *db_, t, panel_, config_.deletion_policy,
-                            &rng_, config_.trust));
+      RemoveResult removal;
+      if (view.has_value()) {
+        // The view already holds t's witnesses; no re-evaluation needed.
+        const query::AnswerInfo* info = view->result().Find(t);
+        QOCO_ASSIGN_OR_RETURN(
+            removal,
+            RemoveWrongAnswerFromWitnesses(
+                info != nullptr ? info->witnesses : provenance::WitnessSet{},
+                panel_, config_.deletion_policy, &rng_, config_.trust));
+      } else {
+        QOCO_ASSIGN_OR_RETURN(
+            removal,
+            RemoveWrongAnswer(q_, *db_, t, panel_, config_.deletion_policy,
+                              &rng_, config_.trust));
+      }
       if (removal.edits.empty()) {
         // Contradictory crowd verdicts (the answer was judged wrong but
         // every witness tuple verified true) are possible with imperfect
@@ -59,6 +90,7 @@ common::Result<CleanerStats> QocoCleaner::Run() {
         continue;
       }
       QOCO_RETURN_NOT_OK(ApplyEdits(removal.edits, db_));
+      sync_view(removal.edits);
       stats.edits.insert(stats.edits.end(), removal.edits.begin(),
                          removal.edits.end());
       stats.deletion_upper_bound += removal.distinct_witness_facts;
@@ -70,7 +102,7 @@ common::Result<CleanerStats> QocoCleaner::Run() {
     crowd::EnumerationEstimator estimator(config_.enumeration_nulls_to_stop);
     std::set<relational::Tuple> attempted;
     while (config_.do_insertion && !estimator.IsLikelyComplete()) {
-      current = evaluator.Evaluate(q_).AnswerTuples();
+      current = current_answers();
       std::optional<relational::Tuple> missing =
           panel_->MissingAnswer(q_, current);
       if (missing.has_value() && !attempted.insert(*missing).second) {
@@ -86,6 +118,8 @@ common::Result<CleanerStats> QocoCleaner::Run() {
           InsertResult insertion,
           AddMissingAnswer(q_, db_, *missing, panel_, config_.insertion,
                            &rng_));
+      // Algorithm 2 applies its edits as it goes; replay them into the view.
+      sync_view(insertion.edits);
       stats.edits.insert(stats.edits.end(), insertion.edits.begin(),
                          insertion.edits.end());
       stats.insertion_upper_bound += insertion.naive_upper_bound_vars;

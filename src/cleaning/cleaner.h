@@ -31,6 +31,11 @@ struct CleanerConfig {
   /// is guaranteed (Propositions 3.3/3.4), but imperfect experts can
   /// oscillate.
   size_t max_iterations = 25;
+  /// When true (the default), the cleaning loop materializes the view once
+  /// and delta-maintains it across edits (query::IncrementalView); when
+  /// false, every round re-evaluates Q from scratch — the pre-incremental
+  /// behavior, kept for A/B verification and ablation.
+  bool incremental_eval = true;
 };
 
 /// Aggregate outcome of a cleaning session.

@@ -1,10 +1,12 @@
 #include "src/cleaning/union_cleaner.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
+#include "src/query/incremental_view.h"
 
 namespace qoco::cleaning {
 
@@ -26,14 +28,19 @@ common::Result<RemoveResult> UnionCleaner::RemoveWrongUnionAnswer(
   // gone only once every such witness is destroyed, and sharing one
   // hitting-set instance lets one NO answer prune across disjuncts.
   provenance::WitnessSet combined;
-  query::Evaluator evaluator(db_);
-  for (const query::CQuery& disjunct : q_.disjuncts()) {
-    query::EvalResult result = evaluator.Evaluate(disjunct);
-    const query::AnswerInfo* info = result.Find(t);
-    if (info == nullptr) continue;
-    for (const provenance::Witness& w : info->witnesses) {
-      if (std::find(combined.begin(), combined.end(), w) == combined.end()) {
-        combined.push_back(w);
+  if (union_view_ != nullptr) {
+    combined = union_view_->CombinedWitnesses(t);
+  } else {
+    query::Evaluator evaluator(db_);
+    for (const query::CQuery& disjunct : q_.disjuncts()) {
+      query::EvalResult result = evaluator.Evaluate(disjunct);
+      const query::AnswerInfo* info = result.Find(t);
+      if (info == nullptr) continue;
+      for (const provenance::Witness& w : info->witnesses) {
+        if (std::find(combined.begin(), combined.end(), w) ==
+            combined.end()) {
+          combined.push_back(w);
+        }
       }
     }
   }
@@ -80,13 +87,31 @@ common::Result<InsertResult> UnionCleaner::AddMissingUnionAnswer(
 common::Result<CleanerStats> UnionCleaner::Run() {
   CleanerStats stats;
   query::Evaluator evaluator(db_);
+  // Incremental path: one materialized view per disjunct, delta-maintained
+  // across every edit of the session (see query::IncrementalUnionView).
+  std::optional<query::IncrementalUnionView> view;
+  if (config_.incremental_eval) view.emplace(q_, db_);
+  union_view_ = view.has_value() ? &*view : nullptr;
+  auto current_answers = [&]() {
+    return view.has_value() ? view->AnswerTuples()
+                            : evaluator.Evaluate(q_).AnswerTuples();
+  };
+  auto sync_view = [&](const EditList& edits) {
+    if (!view.has_value()) return;
+    for (const Edit& e : edits) {
+      if (e.kind == Edit::Kind::kInsert) {
+        view->OnInsert(e.fact);
+      } else {
+        view->OnErase(e.fact);
+      }
+    }
+  };
   std::set<relational::Tuple> verified;
   crowd::QuestionCounts baseline = panel_->counts();
 
   bool first_iteration = true;
   while (stats.iterations < config_.max_iterations) {
-    std::vector<relational::Tuple> current =
-        evaluator.Evaluate(q_).AnswerTuples();
+    std::vector<relational::Tuple> current = current_answers();
     bool has_unverified = false;
     for (const relational::Tuple& t : current) {
       if (!verified.contains(t)) has_unverified = true;
@@ -97,7 +122,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
 
     // Deletion part over the union result.
     while (config_.do_deletion) {
-      current = evaluator.Evaluate(q_).AnswerTuples();
+      current = current_answers();
       const relational::Tuple* next_unverified = nullptr;
       for (const relational::Tuple& t : current) {
         if (!verified.contains(t)) {
@@ -117,6 +142,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
         continue;
       }
       QOCO_RETURN_NOT_OK(ApplyEdits(removal.edits, db_));
+      sync_view(removal.edits);
       stats.edits.insert(stats.edits.end(), removal.edits.begin(),
                          removal.edits.end());
       stats.deletion_upper_bound += removal.distinct_witness_facts;
@@ -127,7 +153,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
     crowd::EnumerationEstimator estimator(config_.enumeration_nulls_to_stop);
     std::set<relational::Tuple> attempted;
     while (config_.do_insertion && !estimator.IsLikelyComplete()) {
-      current = evaluator.Evaluate(q_).AnswerTuples();
+      current = current_answers();
       std::optional<relational::Tuple> missing =
           panel_->MissingAnswer(q_, current);
       if (missing.has_value() && !attempted.insert(*missing).second) {
@@ -138,6 +164,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
       if (!missing.has_value()) continue;
       QOCO_ASSIGN_OR_RETURN(InsertResult insertion,
                             AddMissingUnionAnswer(*missing));
+      sync_view(insertion.edits);
       stats.edits.insert(stats.edits.end(), insertion.edits.begin(),
                          insertion.edits.end());
       stats.insertion_upper_bound += insertion.naive_upper_bound_vars;
@@ -148,6 +175,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
     }
   }
 
+  union_view_ = nullptr;
   stats.questions = panel_->counts() - baseline;
   return stats;
 }

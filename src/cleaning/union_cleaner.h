@@ -2,6 +2,7 @@
 #define QOCO_CLEANING_UNION_CLEANER_H_
 
 #include "src/cleaning/cleaner.h"
+#include "src/query/incremental_view.h"
 #include "src/query/query.h"
 
 namespace qoco::cleaning {
@@ -46,6 +47,9 @@ class UnionCleaner {
   crowd::CrowdPanel* panel_;
   CleanerConfig config_;
   common::Rng rng_;
+  /// Set for the duration of Run() on the incremental path so the removal
+  /// helper reads cached witnesses instead of re-evaluating disjuncts.
+  const query::IncrementalUnionView* union_view_ = nullptr;
 };
 
 }  // namespace qoco::cleaning

@@ -13,9 +13,32 @@ Session::Session(relational::Database* db,
 
 void Session::JournalEdits(const cleaning::EditList& edits) {
   for (const cleaning::Edit& e : edits) {
-    journal_.Append(e.kind == cleaning::Edit::Kind::kInsert, e.fact,
-                    db_->catalog());
+    bool is_insert = e.kind == cleaning::Edit::Kind::kInsert;
+    journal_.Append(is_insert, e.fact, db_->catalog());
+    for (auto& [signature, view] : monitored_views_) {
+      if (is_insert) {
+        view->OnInsert(e.fact);
+      } else {
+        view->OnErase(e.fact);
+      }
+    }
   }
+}
+
+common::Result<std::vector<relational::Tuple>> Session::EvaluateView(
+    std::string_view query_text) {
+  QOCO_ASSIGN_OR_RETURN(query::CQuery q,
+                        query::ParseQuery(query_text, db_->catalog()));
+  return EvaluateView(q);
+}
+
+common::Result<std::vector<relational::Tuple>> Session::EvaluateView(
+    const query::CQuery& q) {
+  auto [it, inserted] = monitored_views_.try_emplace(q.Signature(), nullptr);
+  if (inserted) {
+    it->second = std::make_unique<query::IncrementalView>(q, db_);
+  }
+  return it->second->result().AnswerTuples();
 }
 
 common::Result<cleaning::CleanerStats> Session::CleanView(

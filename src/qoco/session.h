@@ -1,7 +1,10 @@
 #ifndef QOCO_QOCO_SESSION_H_
 #define QOCO_QOCO_SESSION_H_
 
+#include <memory>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cleaning/aggregate_cleaner.h"
@@ -11,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/crowd/crowd_panel.h"
 #include "src/query/aggregate.h"
+#include "src/query/incremental_view.h"
 #include "src/relational/database.h"
 #include "src/relational/journal.h"
 
@@ -61,6 +65,17 @@ class Session {
   common::Result<cleaning::CleanerStats> CleanAggregateView(
       const query::AggregateQuery& q);
 
+  /// Evaluates a monitored view against the current database. The first
+  /// call per structurally-distinct query pays a full evaluation; later
+  /// calls are served from an incrementally-maintained materialization
+  /// that this session keeps in sync with every edit it applies. Callers
+  /// that mutate the database outside the session must not rely on cached
+  /// views (they see only session-applied edits).
+  common::Result<std::vector<relational::Tuple>> EvaluateView(
+      std::string_view query_text);
+  common::Result<std::vector<relational::Tuple>> EvaluateView(
+      const query::CQuery& q);
+
   /// Crowd interaction accumulated across all views of this session.
   const crowd::QuestionCounts& questions() const { return panel_.counts(); }
 
@@ -72,6 +87,7 @@ class Session {
   crowd::CrowdPanel* panel() { return &panel_; }
 
  private:
+  /// Journals `edits` and replays them into every cached monitored view.
   void JournalEdits(const cleaning::EditList& edits);
 
   relational::Database* db_;
@@ -79,6 +95,10 @@ class Session {
   crowd::CrowdPanel panel_;
   relational::EditJournal journal_;
   common::Rng rng_;
+  /// Monitored views keyed by CQuery::Signature(), maintained under every
+  /// session-applied edit (stable addresses; hence unique_ptr).
+  std::unordered_map<std::string, std::unique_ptr<query::IncrementalView>>
+      monitored_views_;
 };
 
 }  // namespace qoco

@@ -60,7 +60,7 @@ class Search {
       std::optional<Value> v = binding_.Resolve(atom.terms[col]);
       if (!v.has_value()) continue;
       ++score.bound_positions;
-      size_t rows = rel.RowsWithValue(col, *v).size();
+      size_t rows = rel.CountRowsWithValue(col, *v);
       if (rows < score.candidates) {
         score.candidates = rows;
         score.probe_column = col;
@@ -110,9 +110,10 @@ class Search {
     };
 
     if (best_score.probe_column != static_cast<size_t>(-1)) {
-      // Index probe on the most selective bound column. Copy the row list:
-      // the index reference is invalidated if recursion rebuilds indexes.
-      std::vector<uint32_t> positions =
+      // Index probe on the most selective bound column. The posting list
+      // stays valid across recursion: indexes are persistent and only
+      // mutations (which never happen mid-evaluation) patch them.
+      const std::vector<uint32_t>& positions =
           rel.RowsWithValue(best_score.probe_column, best_score.probe_value);
       for (uint32_t pos : positions) {
         try_row(rel.rows()[pos]);
@@ -160,18 +161,59 @@ class Search {
 
 }  // namespace
 
+namespace {
+
+/// The one ordering every sorted-answer path shares.
+bool AnswerTupleLess(const AnswerInfo& a, const relational::Tuple& key) {
+  return a.tuple < key;
+}
+
+}  // namespace
+
+std::vector<AnswerInfo>::iterator EvalResult::LowerBound(
+    const relational::Tuple& t) {
+  return std::lower_bound(answers_.begin(), answers_.end(), t,
+                          AnswerTupleLess);
+}
+
+std::vector<AnswerInfo>::const_iterator EvalResult::LowerBound(
+    const relational::Tuple& t) const {
+  return std::lower_bound(answers_.begin(), answers_.end(), t,
+                          AnswerTupleLess);
+}
+
 bool EvalResult::ContainsAnswer(const relational::Tuple& t) const {
   return Find(t) != nullptr;
 }
 
 const AnswerInfo* EvalResult::Find(const relational::Tuple& t) const {
-  auto it = std::lower_bound(
-      answers_.begin(), answers_.end(), t,
-      [](const AnswerInfo& a, const relational::Tuple& key) {
-        return a.tuple < key;
-      });
+  auto it = LowerBound(t);
   if (it == answers_.end() || it->tuple != t) return nullptr;
   return &*it;
+}
+
+AnswerInfo* EvalResult::FindOrInsert(const relational::Tuple& t) {
+  auto it = LowerBound(t);
+  if (it == answers_.end() || it->tuple != t) {
+    it = answers_.insert(it, AnswerInfo{t, {}, {}});
+  }
+  return &*it;
+}
+
+bool EvalResult::Remove(const relational::Tuple& t) {
+  auto it = LowerBound(t);
+  if (it == answers_.end() || it->tuple != t) return false;
+  answers_.erase(it);
+  return true;
+}
+
+bool EvalResult::AddWitnessIfNew(AnswerInfo* info, provenance::Witness w) {
+  if (std::find(info->witnesses.begin(), info->witnesses.end(), w) !=
+      info->witnesses.end()) {
+    return false;
+  }
+  info->witnesses.push_back(std::move(w));
+  return true;
 }
 
 std::vector<relational::Tuple> EvalResult::AnswerTuples() const {
@@ -188,20 +230,9 @@ EvalResult Evaluator::Evaluate(const CQuery& q) const {
   for (Assignment& a : assignments) {
     std::optional<relational::Tuple> answer = a.ApplyHead(q.head());
     if (!answer.has_value()) continue;  // Unsafe head; cannot happen via Make.
-    auto it = std::lower_bound(
-        result.answers_.begin(), result.answers_.end(), *answer,
-        [](const AnswerInfo& info, const relational::Tuple& key) {
-          return info.tuple < key;
-        });
-    if (it == result.answers_.end() || it->tuple != *answer) {
-      it = result.answers_.insert(it, AnswerInfo{*answer, {}, {}});
-    }
-    provenance::Witness w = WitnessFor(q, a);
-    if (std::find(it->witnesses.begin(), it->witnesses.end(), w) ==
-        it->witnesses.end()) {
-      it->witnesses.push_back(std::move(w));
-    }
-    it->assignments.push_back(std::move(a));
+    AnswerInfo* info = result.FindOrInsert(*answer);
+    EvalResult::AddWitnessIfNew(info, WitnessFor(q, a));
+    info->assignments.push_back(std::move(a));
   }
   return result;
 }
@@ -211,19 +242,12 @@ EvalResult Evaluator::Evaluate(const UnionQuery& q) const {
   for (const CQuery& disjunct : q.disjuncts()) {
     EvalResult part = Evaluate(disjunct);
     for (AnswerInfo& info : part.answers_) {
-      auto it = std::lower_bound(
-          merged.answers_.begin(), merged.answers_.end(), info.tuple,
-          [](const AnswerInfo& a, const relational::Tuple& key) {
-            return a.tuple < key;
-          });
+      auto it = merged.LowerBound(info.tuple);
       if (it == merged.answers_.end() || it->tuple != info.tuple) {
         merged.answers_.insert(it, std::move(info));
       } else {
         for (provenance::Witness& w : info.witnesses) {
-          if (std::find(it->witnesses.begin(), it->witnesses.end(), w) ==
-              it->witnesses.end()) {
-            it->witnesses.push_back(std::move(w));
-          }
+          EvalResult::AddWitnessIfNew(&*it, std::move(w));
         }
       }
     }

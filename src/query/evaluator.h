@@ -30,6 +30,18 @@ class EvalResult {
   /// The AnswerInfo for `t`, or nullptr.
   const AnswerInfo* Find(const relational::Tuple& t) const;
 
+  /// The AnswerInfo for `t`, inserting an empty one at its sorted slot if
+  /// absent. The pointer is valid until the next insertion/removal.
+  AnswerInfo* FindOrInsert(const relational::Tuple& t);
+
+  /// Removes the answer for `t`; returns whether it was present.
+  bool Remove(const relational::Tuple& t);
+
+  /// Appends `w` to `info`'s witness set unless already present; returns
+  /// whether it was added. Witness sets are small, so the linear dedup scan
+  /// matches what evaluation does internally.
+  static bool AddWitnessIfNew(AnswerInfo* info, provenance::Witness w);
+
   /// Just the answer tuples, in a deterministic (sorted) order.
   std::vector<relational::Tuple> AnswerTuples() const;
 
@@ -38,6 +50,13 @@ class EvalResult {
 
  private:
   friend class Evaluator;
+
+  /// The shared sorted-by-tuple lower-bound used by every answer-merge
+  /// path (both Evaluate overloads, Find, and IncrementalView).
+  std::vector<AnswerInfo>::iterator LowerBound(const relational::Tuple& t);
+  std::vector<AnswerInfo>::const_iterator LowerBound(
+      const relational::Tuple& t) const;
+
   std::vector<AnswerInfo> answers_;  // kept sorted by tuple
 };
 

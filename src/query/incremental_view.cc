@@ -1,0 +1,171 @@
+#include "src/query/incremental_view.h"
+
+#include <algorithm>
+
+namespace qoco::query {
+
+namespace {
+
+/// Binds `atom`'s variables to the components of `tuple` (pinning the atom
+/// to that fact). Returns false on mismatch: a constant term that differs
+/// from the tuple, or a repeated variable asked to take two values.
+bool PinAtomToTuple(const Atom& atom, const relational::Tuple& tuple,
+                    Assignment* binding) {
+  if (atom.terms.size() != tuple.size()) return false;
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const Term& term = atom.terms[col];
+    if (term.is_constant()) {
+      if (term.constant() != tuple[col]) return false;
+      continue;
+    }
+    VarId v = term.var();
+    if (binding->IsBound(v)) {
+      if (binding->ValueOf(v) != tuple[col]) return false;
+    } else {
+      binding->Bind(v, tuple[col]);
+    }
+  }
+  return true;
+}
+
+/// True iff assignment `a` maps some atom of `q` over f.relation to `f` —
+/// i.e. f belongs to the witness of `a`.
+bool AssignmentUsesFact(const CQuery& q, const Assignment& a,
+                        const relational::Fact& f) {
+  for (const Atom& atom : q.atoms()) {
+    if (atom.relation != f.relation) continue;
+    std::optional<relational::Fact> ground = a.GroundAtom(atom);
+    if (ground.has_value() && ground->tuple == f.tuple) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+IncrementalView::IncrementalView(CQuery q, const relational::Database* db)
+    : q_(std::move(q)), db_(db), evaluator_(db) {
+  Refresh();
+  stats_ = Stats{};
+  stats_.full_evals = 1;
+}
+
+bool IncrementalView::Relevant(relational::RelationId rel) const {
+  for (const Atom& atom : q_.atoms()) {
+    if (atom.relation == rel) return true;
+  }
+  return false;
+}
+
+void IncrementalView::Refresh() {
+  result_ = evaluator_.Evaluate(q_);
+  ++stats_.full_evals;
+}
+
+void IncrementalView::OnInsert(const relational::Fact& f) {
+  if (!Relevant(f.relation)) {
+    ++stats_.skipped_deltas;
+    return;
+  }
+  ++stats_.insert_deltas;
+  // Delta rule, insert side: any assignment made newly valid by f must map
+  // at least one atom to f. Pin each candidate atom in turn and search for
+  // extensions over the current (post-insert) database.
+  for (const Atom& atom : q_.atoms()) {
+    if (atom.relation != f.relation) continue;
+    Assignment pinned(q_.num_vars());
+    if (!PinAtomToTuple(atom, f.tuple, &pinned)) continue;
+    std::vector<Assignment> found =
+        evaluator_.FindExtensions(q_, pinned, /*limit=*/0);
+    for (Assignment& a : found) {
+      std::optional<relational::Tuple> answer = a.ApplyHead(q_.head());
+      if (!answer.has_value()) continue;
+      AnswerInfo* info = result_.FindOrInsert(*answer);
+      // Merge-dedup: the same assignment surfaces once per atom it pins f
+      // at, and again if the caller replays an already-seen notification.
+      if (std::find(info->assignments.begin(), info->assignments.end(), a) !=
+          info->assignments.end()) {
+        continue;
+      }
+      EvalResult::AddWitnessIfNew(info, Evaluator::WitnessFor(q_, a));
+      info->assignments.push_back(std::move(a));
+    }
+  }
+}
+
+void IncrementalView::OnErase(const relational::Fact& f) {
+  if (!Relevant(f.relation)) {
+    ++stats_.skipped_deltas;
+    return;
+  }
+  ++stats_.erase_deltas;
+  // Delta rule, delete side: drop every assignment whose witness contains
+  // f, garbage-collect the witness sets of answers that lost assignments,
+  // and erase answers whose assignment set becomes empty.
+  std::vector<AnswerInfo>& answers = result_.mutable_answers();
+  for (AnswerInfo& info : answers) {
+    size_t before = info.assignments.size();
+    std::erase_if(info.assignments, [&](const Assignment& a) {
+      return AssignmentUsesFact(q_, a, f);
+    });
+    if (info.assignments.size() == before) continue;
+    // Rebuild the witness set from the surviving assignments, preserving
+    // first-occurrence order (the same order full evaluation produces).
+    provenance::WitnessSet survivors;
+    for (const Assignment& a : info.assignments) {
+      provenance::Witness w = Evaluator::WitnessFor(q_, a);
+      if (std::find(survivors.begin(), survivors.end(), w) ==
+          survivors.end()) {
+        survivors.push_back(std::move(w));
+      }
+    }
+    info.witnesses = std::move(survivors);
+  }
+  std::erase_if(answers,
+                [](const AnswerInfo& info) { return info.assignments.empty(); });
+}
+
+IncrementalUnionView::IncrementalUnionView(const UnionQuery& q,
+                                           const relational::Database* db) {
+  views_.reserve(q.disjuncts().size());
+  for (const CQuery& disjunct : q.disjuncts()) {
+    views_.emplace_back(disjunct, db);
+  }
+}
+
+std::vector<relational::Tuple> IncrementalUnionView::AnswerTuples() const {
+  std::vector<relational::Tuple> merged;
+  for (const IncrementalView& view : views_) {
+    std::vector<relational::Tuple> part = view.result().AnswerTuples();
+    std::vector<relational::Tuple> out;
+    out.reserve(merged.size() + part.size());
+    std::set_union(merged.begin(), merged.end(), part.begin(), part.end(),
+                   std::back_inserter(out));
+    merged = std::move(out);
+  }
+  return merged;
+}
+
+provenance::WitnessSet IncrementalUnionView::CombinedWitnesses(
+    const relational::Tuple& t) const {
+  provenance::WitnessSet combined;
+  for (const IncrementalView& view : views_) {
+    const AnswerInfo* info = view.result().Find(t);
+    if (info == nullptr) continue;
+    for (const provenance::Witness& w : info->witnesses) {
+      if (std::find(combined.begin(), combined.end(), w) == combined.end()) {
+        combined.push_back(w);
+      }
+    }
+  }
+  return combined;
+}
+
+void IncrementalUnionView::OnInsert(const relational::Fact& f) {
+  for (IncrementalView& view : views_) view.OnInsert(f);
+}
+
+void IncrementalUnionView::OnErase(const relational::Fact& f) {
+  for (IncrementalView& view : views_) view.OnErase(f);
+}
+
+}  // namespace qoco::query

@@ -1,0 +1,110 @@
+#ifndef QOCO_QUERY_INCREMENTAL_VIEW_H_
+#define QOCO_QUERY_INCREMENTAL_VIEW_H_
+
+#include <vector>
+
+#include "src/provenance/witness.h"
+#include "src/query/evaluator.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+
+namespace qoco::query {
+
+/// Incrementally maintained materialization of Q(D) with provenance.
+///
+/// The cleaning loop of Algorithm 4 applies one insert/delete edit per
+/// oracle round and then needs the refreshed view; re-evaluating Q from
+/// scratch each round makes the session quadratic in practice. An
+/// IncrementalView pays the full-evaluation cost once (at construction or
+/// Refresh) and maintains the cached EvalResult under single-fact deltas
+/// with the standard delta-rule decomposition for monotone queries:
+///
+///  * insert of fact f into R: for every body atom over R, unify the atom
+///    with f (pinning it) and search for extensions of that partial
+///    assignment over the *current* database; every extension found is a
+///    new valid assignment whose witness contains f. Deduplication across
+///    atoms (an assignment may pin f at several atoms) and against the
+///    cached result (notifications are idempotent) happens on merge.
+///  * delete of f: every valid assignment that maps some atom to f has
+///    lost its witness; drop those assignments, garbage-collect witnesses
+///    from the survivors, and erase answers left with no assignment.
+///
+/// Both rules are exact for conjunctive queries with inequalities (the
+/// query language of the paper): inserts never remove answers and deletes
+/// never add them, so the two deltas compose to the from-scratch result.
+///
+/// Notify AFTER the database mutation: OnInsert(f) once f is in D,
+/// OnErase(f) once it is gone. Notifications are idempotent and, for a
+/// batch of edits already applied to D, order-insensitive — so a caller
+/// that applied several edits may replay them in any order.
+class IncrementalView {
+ public:
+  /// Evaluates Q(D) once. `db` must outlive the view; the query is copied.
+  IncrementalView(CQuery q, const relational::Database* db);
+
+  const CQuery& query() const { return q_; }
+
+  /// The maintained Q(D) with provenance (answers sorted by tuple, same
+  /// invariant as Evaluator::Evaluate).
+  const EvalResult& result() const { return result_; }
+
+  /// Delta-maintains the view after `f` was inserted into the database.
+  void OnInsert(const relational::Fact& f);
+
+  /// Delta-maintains the view after `f` was erased from the database.
+  void OnErase(const relational::Fact& f);
+
+  /// Full re-evaluation fallback (e.g. after out-of-band bulk loads).
+  void Refresh();
+
+  /// Maintenance counters, for tests and benchmarks.
+  struct Stats {
+    size_t full_evals = 0;     // construction + Refresh calls
+    size_t insert_deltas = 0;  // OnInsert calls that ran the delta rule
+    size_t erase_deltas = 0;   // OnErase calls that ran the delta rule
+    size_t skipped_deltas = 0; // notifications for relations not in Q
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// True iff some body atom ranges over `rel`.
+  bool Relevant(relational::RelationId rel) const;
+
+  CQuery q_;
+  const relational::Database* db_;
+  Evaluator evaluator_;
+  EvalResult result_;
+  Stats stats_;
+};
+
+/// Incrementally maintained union view: one IncrementalView per disjunct,
+/// merged on read. Mirrors how UnionCleaner consumes union results — the
+/// merged answer list for verification/enumeration, and the combined
+/// witness sets across disjuncts for the shared hitting-set instance.
+class IncrementalUnionView {
+ public:
+  IncrementalUnionView(const UnionQuery& q, const relational::Database* db);
+
+  /// Distinct answers of the union, sorted.
+  std::vector<relational::Tuple> AnswerTuples() const;
+
+  /// The maintained result of disjunct `i`.
+  const EvalResult& disjunct_result(size_t i) const {
+    return views_[i].result();
+  }
+  size_t num_disjuncts() const { return views_.size(); }
+
+  /// Deduplicated witnesses of `t` across every disjunct that produces it
+  /// (empty if t is not a union answer).
+  provenance::WitnessSet CombinedWitnesses(const relational::Tuple& t) const;
+
+  void OnInsert(const relational::Fact& f);
+  void OnErase(const relational::Fact& f);
+
+ private:
+  std::vector<IncrementalView> views_;
+};
+
+}  // namespace qoco::query
+
+#endif  // QOCO_QUERY_INCREMENTAL_VIEW_H_

@@ -11,7 +11,9 @@ bool Relation::Insert(const Tuple& t) {
   uint32_t pos = static_cast<uint32_t>(rows_.size());
   rows_.push_back(t);
   membership_.emplace(t, pos);
-  index_valid_.assign(index_valid_.size(), false);
+  for (size_t col = 0; col < arity_; ++col) {
+    if (index_valid_[col]) column_index_[col][t[col]].push_back(pos);
+  }
   return true;
 }
 
@@ -21,20 +23,40 @@ bool Relation::Erase(const Tuple& t) {
   uint32_t pos = it->second;
   membership_.erase(it);
   uint32_t last = static_cast<uint32_t>(rows_.size()) - 1;
+  // Patch built indexes before touching rows_: drop `pos` under the erased
+  // tuple's values, then retarget the row that swap-remove will move from
+  // `last` to `pos`. (When the erased and moved rows share a value the list
+  // momentarily holds both positions; the two steps compose correctly.)
+  for (size_t col = 0; col < arity_; ++col) {
+    if (!index_valid_[col]) continue;
+    RemovePosting(col, t[col], pos);
+    if (pos != last) RepointPosting(col, rows_[last][col], last, pos);
+  }
   if (pos != last) {
     rows_[pos] = std::move(rows_[last]);
     membership_[rows_[pos]] = pos;
   }
   rows_.pop_back();
-  index_valid_.assign(index_valid_.size(), false);
   return true;
 }
 
+void Relation::RemovePosting(size_t column, const Value& v, uint32_t pos) {
+  auto& index = column_index_[column];
+  auto it = index.find(v);
+  std::vector<uint32_t>& list = it->second;
+  auto slot = std::find(list.begin(), list.end(), pos);
+  *slot = list.back();
+  list.pop_back();
+  if (list.empty()) index.erase(it);
+}
+
+void Relation::RepointPosting(size_t column, const Value& v, uint32_t from,
+                              uint32_t to) {
+  std::vector<uint32_t>& list = column_index_[column].find(v)->second;
+  *std::find(list.begin(), list.end(), from) = to;
+}
+
 void Relation::EnsureIndex(size_t column) const {
-  if (column_index_.size() < arity_) {
-    column_index_.resize(arity_);
-    index_valid_.resize(arity_, false);
-  }
   if (index_valid_[column]) return;
   auto& index = column_index_[column];
   index.clear();
@@ -50,6 +72,12 @@ const std::vector<uint32_t>& Relation::RowsWithValue(size_t column,
   auto it = column_index_[column].find(v);
   if (it == column_index_[column].end()) return kEmptyRows;
   return it->second;
+}
+
+size_t Relation::CountRowsWithValue(size_t column, const Value& v) const {
+  EnsureIndex(column);
+  auto it = column_index_[column].find(v);
+  return it == column_index_[column].end() ? 0 : it->second.size();
 }
 
 std::vector<Value> Relation::ColumnDomain(size_t column) const {

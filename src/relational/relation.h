@@ -13,12 +13,25 @@ namespace qoco::relational {
 ///
 /// Besides membership and insert/erase, a Relation maintains lazily-built
 /// per-column hash indexes (value -> row positions) that the query evaluator
-/// uses to drive index nested-loop joins. Indexes are invalidated on any
-/// mutation and rebuilt on first use.
+/// uses to drive index nested-loop joins. Once built, an index is
+/// *incrementally maintained* across Insert/Erase: insertions append the new
+/// row position to the matching posting list, and the swap-remove performed
+/// by Erase patches the two affected posting lists in place. An index is
+/// therefore built at most once over the relation's lifetime, and the
+/// posting lists returned by RowsWithValue stay valid until the next
+/// mutation of this relation (building indexes for *other* columns does not
+/// invalidate them).
+///
+/// Invariants while index_valid_[c] holds:
+///  * column_index_[c][v] lists exactly the positions p with rows_[p][c] == v
+///    (in no particular order; swap-remove maintenance permutes them);
+///  * no posting list is empty (the key is erased with its last position),
+///    so ColumnDomain can read the key set directly.
 class Relation {
  public:
   /// Constructs an empty relation of the given arity.
-  explicit Relation(size_t arity) : arity_(arity) {}
+  explicit Relation(size_t arity)
+      : arity_(arity), column_index_(arity), index_valid_(arity, false) {}
 
   size_t arity() const { return arity_; }
   size_t size() const { return rows_.size(); }
@@ -39,9 +52,17 @@ class Relation {
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Row positions whose `column` equals `v`. The returned reference is
-  /// valid until the next mutation. Precondition: column < arity().
+  /// valid until the next mutation of this relation; probing other columns
+  /// (or other relations) does not invalidate it. Precondition:
+  /// column < arity().
   const std::vector<uint32_t>& RowsWithValue(size_t column,
                                              const Value& v) const;
+
+  /// Number of rows whose `column` equals `v`. Equivalent to
+  /// RowsWithValue(column, v).size(); spelled out so call sites that only
+  /// need a cardinality (e.g. join-order scoring) don't read as if they
+  /// materialized anything. Precondition: column < arity().
+  size_t CountRowsWithValue(size_t column, const Value& v) const;
 
   /// Distinct values appearing in `column`.
   std::vector<Value> ColumnDomain(size_t column) const;
@@ -49,11 +70,22 @@ class Relation {
  private:
   void EnsureIndex(size_t column) const;
 
+  /// Removes position `pos` from the posting list of `v` in `column`'s
+  /// (built) index, erasing the key if the list empties.
+  void RemovePosting(size_t column, const Value& v, uint32_t pos);
+
+  /// Rewrites the occurrence of position `from` to `to` in the posting
+  /// list of `v` in `column`'s (built) index.
+  void RepointPosting(size_t column, const Value& v, uint32_t from,
+                      uint32_t to);
+
   size_t arity_;
   std::vector<Tuple> rows_;
   std::unordered_map<Tuple, uint32_t, TupleHash> membership_;
 
-  // Lazily built per-column indexes; mutable for build-on-demand.
+  // Per-column indexes, built on first use (mutable for build-on-demand)
+  // and maintained incrementally afterwards. Sized to arity_ up front so a
+  // build never reallocates the outer vector mid-evaluation.
   mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>,
                                          ValueHash>> column_index_;
   mutable std::vector<bool> index_valid_;

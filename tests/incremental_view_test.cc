@@ -1,0 +1,321 @@
+// Tests for query::IncrementalView: directed delta-rule cases (insert
+// creates answers, delete garbage-collects witnesses, irrelevant relations
+// are skipped, notifications are idempotent), a randomized equivalence fuzz
+// over the soccer and dbgroup workloads asserting the maintained view
+// matches a from-scratch Evaluator::Evaluate after every edit, and an A/B
+// check that the incremental and full-reevaluation cleaner paths repair a
+// planted view to the same result.
+
+#include "src/query/incremental_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/cleaning/cleaner.h"
+#include "src/common/rng.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/query/parser.h"
+#include "src/relational/database.h"
+#include "src/workload/dbgroup.h"
+#include "src/workload/noise.h"
+#include "src/workload/soccer.h"
+
+namespace qoco::query {
+namespace {
+
+using relational::Database;
+using relational::Fact;
+using relational::Tuple;
+using relational::Value;
+
+/// Asserts that the maintained view result matches `expected` exactly:
+/// same answers (both sorted by tuple), per answer the same witness *set*
+/// and the same assignment *set* (order may differ between the paths).
+void ExpectSameResult(const EvalResult& view, const EvalResult& expected,
+                      const char* context) {
+  ASSERT_EQ(view.size(), expected.size()) << context;
+  for (size_t i = 0; i < expected.answers().size(); ++i) {
+    const AnswerInfo& got = view.answers()[i];
+    const AnswerInfo& want = expected.answers()[i];
+    ASSERT_EQ(got.tuple, want.tuple) << context;
+
+    provenance::WitnessSet got_w = got.witnesses;
+    provenance::WitnessSet want_w = want.witnesses;
+    std::sort(got_w.begin(), got_w.end());
+    std::sort(want_w.begin(), want_w.end());
+    ASSERT_EQ(got_w == want_w, true)
+        << context << ": witness sets differ for answer "
+        << relational::TupleToString(got.tuple);
+
+    ASSERT_EQ(got.assignments.size(), want.assignments.size())
+        << context << ": assignment counts differ for answer "
+        << relational::TupleToString(got.tuple);
+    for (const Assignment& a : want.assignments) {
+      ASSERT_NE(std::find(got.assignments.begin(), got.assignments.end(), a),
+                got.assignments.end())
+          << context << ": assignment missing for answer "
+          << relational::TupleToString(got.tuple);
+    }
+  }
+}
+
+class IncrementalViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *catalog_.AddRelation("R", {"a", "b"});
+    s_ = *catalog_.AddRelation("S", {"c"});
+    u_ = *catalog_.AddRelation("U", {"d"});
+    db_ = std::make_unique<Database>(&catalog_);
+  }
+
+  CQuery Parse(const std::string& text) {
+    auto q = ParseQuery(text, catalog_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  relational::Catalog catalog_;
+  relational::RelationId r_ = relational::kInvalidRelation;
+  relational::RelationId s_ = relational::kInvalidRelation;
+  relational::RelationId u_ = relational::kInvalidRelation;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(IncrementalViewTest, InsertDeltaCreatesAnswer) {
+  ASSERT_TRUE(db_->Insert({r_, {Value("x"), Value("y")}}).ok());
+  CQuery q = Parse("(a) :- R(a, b), S(b).");
+  IncrementalView view(q, db_.get());
+  EXPECT_TRUE(view.result().empty());
+
+  Fact f{s_, {Value("y")}};
+  ASSERT_TRUE(db_->Insert(f).ok());
+  view.OnInsert(f);
+  EXPECT_TRUE(view.result().ContainsAnswer(Tuple{Value("x")}));
+  EXPECT_EQ(view.stats().insert_deltas, 1u);
+  EXPECT_EQ(view.stats().full_evals, 1u);
+}
+
+TEST_F(IncrementalViewTest, EraseDeltaRemovesAnswerAndWitness) {
+  ASSERT_TRUE(db_->Insert({r_, {Value("x"), Value("y")}}).ok());
+  ASSERT_TRUE(db_->Insert({r_, {Value("x"), Value("z")}}).ok());
+  ASSERT_TRUE(db_->Insert({s_, {Value("y")}}).ok());
+  ASSERT_TRUE(db_->Insert({s_, {Value("z")}}).ok());
+  CQuery q = Parse("(a) :- R(a, b), S(b).");
+  IncrementalView view(q, db_.get());
+  ASSERT_EQ(view.result().size(), 1u);
+  ASSERT_EQ(view.result().answers()[0].witnesses.size(), 2u);
+
+  // Destroying one witness keeps the answer with the surviving witness.
+  Fact f{s_, {Value("y")}};
+  ASSERT_TRUE(db_->Erase(f).ok());
+  view.OnErase(f);
+  ASSERT_EQ(view.result().size(), 1u);
+  EXPECT_EQ(view.result().answers()[0].witnesses.size(), 1u);
+
+  // Destroying the last witness erases the answer.
+  Fact g{r_, {Value("x"), Value("z")}};
+  ASSERT_TRUE(db_->Erase(g).ok());
+  view.OnErase(g);
+  EXPECT_TRUE(view.result().empty());
+  EXPECT_EQ(view.stats().erase_deltas, 2u);
+}
+
+TEST_F(IncrementalViewTest, IrrelevantRelationIsSkipped) {
+  CQuery q = Parse("(a) :- R(a, b), S(b).");
+  IncrementalView view(q, db_.get());
+  Fact f{u_, {Value("w")}};
+  ASSERT_TRUE(db_->Insert(f).ok());
+  view.OnInsert(f);
+  ASSERT_TRUE(db_->Erase(f).ok());
+  view.OnErase(f);
+  EXPECT_EQ(view.stats().skipped_deltas, 2u);
+  EXPECT_EQ(view.stats().insert_deltas, 0u);
+  EXPECT_EQ(view.stats().erase_deltas, 0u);
+}
+
+TEST_F(IncrementalViewTest, NotificationsAreIdempotent) {
+  ASSERT_TRUE(db_->Insert({r_, {Value("x"), Value("y")}}).ok());
+  ASSERT_TRUE(db_->Insert({s_, {Value("y")}}).ok());
+  CQuery q = Parse("(a) :- R(a, b), S(b).");
+  IncrementalView view(q, db_.get());
+
+  // Replaying an insert already reflected in db and view must not
+  // duplicate assignments or witnesses.
+  view.OnInsert({s_, {Value("y")}});
+  ASSERT_EQ(view.result().size(), 1u);
+  EXPECT_EQ(view.result().answers()[0].assignments.size(), 1u);
+  EXPECT_EQ(view.result().answers()[0].witnesses.size(), 1u);
+
+  // Replaying an erase of an absent fact is a no-op.
+  view.OnErase({s_, {Value("nope")}});
+  EXPECT_EQ(view.result().size(), 1u);
+}
+
+TEST_F(IncrementalViewTest, SelfJoinPinsEveryAtom) {
+  // f participates at both atoms of a self-join; the delta must not
+  // double-count the assignment discovered via each pin.
+  CQuery q = Parse("(a, c) :- R(a, b), R(b, c).");
+  ASSERT_TRUE(db_->Insert({r_, {Value("p"), Value("p")}}).ok());
+  IncrementalView view(q, db_.get());
+  ASSERT_EQ(view.result().size(), 1u);
+
+  Fact f{r_, {Value("p"), Value("q")}};
+  ASSERT_TRUE(db_->Insert(f).ok());
+  view.OnInsert(f);
+  Evaluator evaluator(db_.get());
+  ExpectSameResult(view.result(), evaluator.Evaluate(q), "self join");
+}
+
+TEST_F(IncrementalViewTest, UnionViewMergesAndCombinesWitnesses) {
+  ASSERT_TRUE(db_->Insert({r_, {Value("x"), Value("y")}}).ok());
+  ASSERT_TRUE(db_->Insert({s_, {Value("x")}}).ok());
+  auto u = ParseUnionQuery("(a) :- R(a, b); (a) :- S(a).", catalog_);
+  ASSERT_TRUE(u.ok());
+  IncrementalUnionView view(*u, db_.get());
+  EXPECT_EQ(view.AnswerTuples().size(), 1u);  // "x" from both disjuncts.
+  EXPECT_EQ(view.CombinedWitnesses(Tuple{Value("x")}).size(), 2u);
+
+  Fact f{s_, {Value("w")}};
+  ASSERT_TRUE(db_->Insert(f).ok());
+  view.OnInsert(f);
+  EXPECT_EQ(view.AnswerTuples().size(), 2u);
+
+  ASSERT_TRUE(db_->Erase(f).ok());
+  view.OnErase(f);
+  EXPECT_EQ(view.AnswerTuples().size(), 1u);
+}
+
+/// One fuzz session: random interleaving of inserts and deletes against
+/// `db`, checking the maintained view against a from-scratch evaluation
+/// after every step. Deletions pick random rows of the query's relations;
+/// insertions either restore a previously-deleted fact, pull a fact the
+/// reference database has and `db` lacks, or fabricate one by perturbing a
+/// column of an existing row with a value from the reference column domain.
+/// (`performed` is an out-param because gtest ASSERTs need a void return.)
+void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
+               size_t steps, common::Rng* rng, size_t* performed) {
+  Evaluator evaluator(db);
+  IncrementalView view(q, db);
+  ExpectSameResult(view.result(), evaluator.Evaluate(q), "initial");
+
+  std::vector<relational::RelationId> rels;
+  for (const Atom& atom : q.atoms()) {
+    if (std::find(rels.begin(), rels.end(), atom.relation) == rels.end()) {
+      rels.push_back(atom.relation);
+    }
+  }
+  std::vector<Fact> erased_pool;
+  for (size_t step = 0; step < steps; ++step) {
+    relational::RelationId rel = rels[rng->Index(rels.size())];
+    const relational::Relation& instance = db->relation(rel);
+    bool do_erase = !instance.empty() && rng->Chance(0.5);
+    if (do_erase) {
+      Fact victim{rel, instance.rows()[rng->Index(instance.size())]};
+      ASSERT_TRUE(db->Erase(victim).ok()) << "erase failed";
+      view.OnErase(victim);
+      erased_pool.push_back(std::move(victim));
+    } else {
+      Fact fresh;
+      double dice = rng->Real();
+      if (!erased_pool.empty() && dice < 0.4) {
+        fresh = erased_pool[rng->Index(erased_pool.size())];
+      } else if (dice < 0.7 && !reference.relation(rel).empty()) {
+        const auto& rows = reference.relation(rel).rows();
+        fresh = Fact{rel, rows[rng->Index(rows.size())]};
+      } else if (!instance.empty()) {
+        Tuple t = instance.rows()[rng->Index(instance.size())];
+        size_t col = rng->Index(t.size());
+        std::vector<Value> domain = reference.relation(rel).ColumnDomain(col);
+        if (!domain.empty()) t[col] = domain[rng->Index(domain.size())];
+        fresh = Fact{rel, std::move(t)};
+      } else {
+        continue;
+      }
+      auto changed = db->Insert(fresh);
+      ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+      view.OnInsert(fresh);
+    }
+    ++*performed;
+    ExpectSameResult(view.result(), evaluator.Evaluate(q), "after step");
+  }
+}
+
+TEST(IncrementalViewFuzzTest, MatchesFullEvaluationOnSoccer) {
+  workload::SoccerParams params;
+  params.num_tournaments = 8;
+  params.teams_per_tournament = 10;
+  params.group_games_per_tournament = 8;
+  params.players_per_team = 6;
+  auto data = workload::MakeSoccerData(params);
+  ASSERT_TRUE(data.ok());
+  common::Rng rng(2026);
+  size_t total = 0;
+  for (size_t qi = 1; qi <= 5; ++qi) {
+    auto q = workload::SoccerQuery(qi, *data->catalog);
+    ASSERT_TRUE(q.ok());
+    workload::NoiseParams noise;
+    noise.seed = 100 + qi;
+    auto dirty = workload::MakeDirty(*data->ground_truth, noise);
+    ASSERT_TRUE(dirty.ok());
+    Database db = std::move(dirty).value();
+    FuzzQuery(*q, &db, *data->ground_truth, 150, &rng, &total);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(total, 600u);
+}
+
+TEST(IncrementalViewFuzzTest, MatchesFullEvaluationOnDbGroup) {
+  auto data = workload::MakeDbGroupData(workload::DbGroupParams{});
+  ASSERT_TRUE(data.ok());
+  common::Rng rng(77);
+  size_t total = 0;
+  for (size_t qi = 0; qi < data->report_queries.size(); ++qi) {
+    Database db = *data->dirty;
+    FuzzQuery(data->report_queries[qi], &db, *data->ground_truth, 130, &rng,
+              &total);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GE(total, 400u);
+}
+
+TEST(IncrementalCleanerABTest, BothPathsRepairToGroundTruthView) {
+  workload::SoccerParams params;
+  params.num_tournaments = 8;
+  params.teams_per_tournament = 10;
+  auto data = workload::MakeSoccerData(params);
+  ASSERT_TRUE(data.ok());
+  auto q = workload::SoccerQuery(3, *data->catalog);
+  ASSERT_TRUE(q.ok());
+  auto planted = workload::PlantErrors(*q, *data->ground_truth, 2, 2,
+                                       /*seed=*/9);
+  ASSERT_TRUE(planted.ok());
+  Evaluator truth_eval(data->ground_truth.get());
+  std::vector<Tuple> truth_answers = truth_eval.Evaluate(*q).AnswerTuples();
+
+  for (bool incremental : {true, false}) {
+    Database db = planted->db;
+    crowd::SimulatedOracle oracle(data->ground_truth.get());
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    cleaning::CleanerConfig config;
+    config.incremental_eval = incremental;
+    cleaning::QocoCleaner cleaner(*q, &db, &panel, config, common::Rng(4));
+    auto stats = cleaner.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    Evaluator eval(&db);
+    EXPECT_EQ(eval.Evaluate(*q).AnswerTuples(), truth_answers)
+        << "incremental=" << incremental;
+    EXPECT_EQ(stats->wrong_answers_removed, planted->wrong.size())
+        << "incremental=" << incremental;
+    EXPECT_EQ(stats->missing_answers_added, planted->missing.size())
+        << "incremental=" << incremental;
+  }
+}
+
+}  // namespace
+}  // namespace qoco::query
