@@ -26,10 +26,8 @@ namespace {
 using namespace qoco;  // NOLINT(build/namespaces): benchmark driver.
 
 const workload::SoccerData& Soccer() {
-  static const workload::SoccerData& data =
-      *new workload::SoccerData(
-          std::move(workload::MakeSoccerData(workload::SoccerParams{}))
-              .value());
+  static workload::SoccerData data =
+      std::move(workload::MakeSoccerData(workload::SoccerParams{})).value();
   return data;
 }
 

@@ -3,6 +3,8 @@
 #include <optional>
 #include <set>
 
+#include "src/common/check.h"
+#include "src/common/invariant.h"
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
 #include "src/query/incremental_view.h"
@@ -21,6 +23,7 @@ common::Result<CleanerStats> QocoCleaner::Run() {
                             : evaluator.Evaluate(q_).AnswerTuples();
   };
   // Replays already-applied edits into the view (delta maintenance).
+  common::AuditTicker audit_ticker(kDebugAuditPeriod);
   auto sync_view = [&](const EditList& edits) {
     if (!view.has_value()) return;
     for (const Edit& e : edits) {
@@ -29,6 +32,10 @@ common::Result<CleanerStats> QocoCleaner::Run() {
       } else {
         view->OnErase(e.fact);
       }
+    }
+    if (common::kDebugChecksEnabled && audit_ticker.Tick()) {
+      QOCO_CHECK_OK(view->AuditInvariants());
+      QOCO_CHECK_OK(db_->AuditInvariants());
     }
   };
   std::set<relational::Tuple> verified;

@@ -13,6 +13,11 @@
 
 namespace qoco::cleaning {
 
+/// Every how many view syncs the cleaning loops deep-audit the maintained
+/// view and the database in common::kDebugChecksEnabled builds (plain
+/// release builds skip the audits entirely).
+inline constexpr size_t kDebugAuditPeriod = 16;
+
 /// Configuration of the end-to-end cleaner (Algorithm 3).
 struct CleanerConfig {
   DeletionPolicy deletion_policy = DeletionPolicy::kQoco;

@@ -15,6 +15,14 @@ const char kDistinguished[] = "d";
 
 }  // namespace
 
+// GCC 12 misdiagnoses the std::variant inside relational::Value temporaries
+// that are moved into tuples below (-Wmaybe-uninitialized, GCC PR105593).
+// Targeted suppression so the warning stays live for the rest of the tree.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 common::Result<ReductionInstance> BuildDeletionHardnessInstance(
     const hittingset::Instance& instance) {
   size_t n = instance.num_elements;
@@ -150,5 +158,9 @@ common::Result<ReductionInstance> BuildInsertionHardnessInstance(
   out.target = {Value(kDistinguished)};
   return out;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace qoco::cleaning

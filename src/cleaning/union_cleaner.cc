@@ -4,6 +4,9 @@
 #include <optional>
 #include <set>
 
+#include "src/cleaning/cleaner.h"
+#include "src/common/check.h"
+#include "src/common/invariant.h"
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
 #include "src/query/incremental_view.h"
@@ -96,6 +99,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
     return view.has_value() ? view->AnswerTuples()
                             : evaluator.Evaluate(q_).AnswerTuples();
   };
+  common::AuditTicker audit_ticker(kDebugAuditPeriod);
   auto sync_view = [&](const EditList& edits) {
     if (!view.has_value()) return;
     for (const Edit& e : edits) {
@@ -104,6 +108,10 @@ common::Result<CleanerStats> UnionCleaner::Run() {
       } else {
         view->OnErase(e.fact);
       }
+    }
+    if (common::kDebugChecksEnabled && audit_ticker.Tick()) {
+      QOCO_CHECK_OK(view->AuditInvariants());
+      QOCO_CHECK_OK(db_->AuditInvariants());
     }
   };
   std::set<relational::Tuple> verified;

@@ -1,0 +1,15 @@
+#include "src/common/check.h"
+
+namespace qoco::common::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << file << ":" << line << ": QOCO_CHECK(" << condition
+          << ") failed: ";
+}
+
+CheckFailure::~CheckFailure() {
+  // AbortWithMessage never returns, so the half-destroyed stream is fine.
+  AbortWithMessage(stream_.str().c_str());
+}
+
+}  // namespace qoco::common::internal

@@ -1,0 +1,96 @@
+#ifndef QOCO_COMMON_CHECK_H_
+#define QOCO_COMMON_CHECK_H_
+
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace qoco::common {
+
+/// True when QOCO_DCHECK and the periodic deep audits are compiled in:
+/// debug builds (NDEBUG undefined) and any build configured with
+/// -DQOCO_DEBUG_CHECKS (the sanitizer presets do this; see CMakeLists.txt).
+#if defined(QOCO_DEBUG_CHECKS) || !defined(NDEBUG)
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+namespace internal {
+
+/// Accumulates the streamed context of a failing check and aborts with the
+/// full message ("<file>:<line>: QOCO_CHECK(<cond>) failed: <context>")
+/// when destroyed at the end of the check statement.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();  // [[noreturn]] in effect: renders the message, aborts.
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed context of a disabled QOCO_DCHECK.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace qoco::common
+
+/// Aborts with file:line, the condition text, and any streamed context when
+/// `cond` is false. Enabled in every build type:
+///
+///   QOCO_CHECK(pos < rows.size()) << "pos=" << pos << " while erasing " << t;
+///
+/// (`while` rather than `if` so the macro cannot steal a dangling `else`.)
+#define QOCO_CHECK(cond)                                          \
+  while (!(cond))                                                 \
+  ::qoco::common::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+/// QOCO_CHECK on a Status-returning expression; the status message is
+/// prepended to any streamed context. The expression is evaluated once.
+#define QOCO_CHECK_OK(expr)                                                  \
+  if (::qoco::common::Status _qoco_check_status = (expr);                    \
+      _qoco_check_status.ok()) {                                             \
+  } else /* NOLINT(readability-misleading-indentation) */                    \
+    ::qoco::common::internal::CheckFailure(__FILE__, __LINE__, #expr)        \
+            .stream()                                                        \
+        << _qoco_check_status.ToString() << " "
+
+/// Comparison spellings; the operands appear verbatim in the message.
+#define QOCO_CHECK_EQ(a, b) QOCO_CHECK((a) == (b))
+#define QOCO_CHECK_NE(a, b) QOCO_CHECK((a) != (b))
+#define QOCO_CHECK_LT(a, b) QOCO_CHECK((a) < (b))
+#define QOCO_CHECK_LE(a, b) QOCO_CHECK((a) <= (b))
+#define QOCO_CHECK_GT(a, b) QOCO_CHECK((a) > (b))
+#define QOCO_CHECK_GE(a, b) QOCO_CHECK((a) >= (b))
+
+/// Debug-only checks: active when common::kDebugChecksEnabled, compiled to
+/// nothing otherwise (the condition and context still parse and odr-use, so
+/// release builds cannot rot them, but nothing is evaluated).
+#if defined(QOCO_DEBUG_CHECKS) || !defined(NDEBUG)
+#define QOCO_DCHECK(cond) QOCO_CHECK(cond)
+#define QOCO_DCHECK_OK(expr) QOCO_CHECK_OK(expr)
+#else
+#define QOCO_DCHECK(cond) \
+  while (false && (cond)) ::qoco::common::internal::NullStream()
+#define QOCO_DCHECK_OK(expr) \
+  while (false && (expr).ok()) ::qoco::common::internal::NullStream()
+#endif
+
+#define QOCO_DCHECK_EQ(a, b) QOCO_DCHECK((a) == (b))
+#define QOCO_DCHECK_NE(a, b) QOCO_DCHECK((a) != (b))
+#define QOCO_DCHECK_LT(a, b) QOCO_DCHECK((a) < (b))
+#define QOCO_DCHECK_LE(a, b) QOCO_DCHECK((a) <= (b))
+#define QOCO_DCHECK_GT(a, b) QOCO_DCHECK((a) > (b))
+#define QOCO_DCHECK_GE(a, b) QOCO_DCHECK((a) >= (b))
+
+#endif  // QOCO_COMMON_CHECK_H_

@@ -1,0 +1,26 @@
+#include "src/common/invariant.h"
+
+namespace qoco::common {
+
+std::ostream& InvariantAuditor::Violation() {
+  violations_.push_back(std::make_unique<std::ostringstream>());
+  return *violations_.back();
+}
+
+void InvariantAuditor::Merge(const std::string& prefix, const Status& status) {
+  if (status.ok()) return;
+  Violation() << prefix << ": " << status.message();
+}
+
+Status InvariantAuditor::Finish() const {
+  if (violations_.empty()) return Status::OK();
+  std::ostringstream message;
+  message << subject_ << ": invariant audit found " << violations_.size()
+          << " violation(s):";
+  for (const auto& violation : violations_) {
+    message << "\n  - " << violation->str();
+  }
+  return Status::Internal(message.str());
+}
+
+}  // namespace qoco::common

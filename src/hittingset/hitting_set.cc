@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "src/common/check.h"
+#include "src/common/invariant.h"
+
 namespace qoco::hittingset {
 
 namespace {
@@ -52,8 +55,11 @@ std::optional<std::vector<int>> UniqueMinimalHittingSet(
   for (const auto& s : instance.sets) {
     if (!Hits(s, singleton_elements)) return std::nullopt;
   }
-  return std::vector<int>(singleton_elements.begin(),
+  std::vector<int> unique(singleton_elements.begin(),
                           singleton_elements.end());
+  QOCO_DCHECK(IsMinimalHittingSet(instance, unique))
+      << "UniqueMinimalHittingSet produced a non-minimal hitting set";
+  return unique;
 }
 
 int MostFrequentElement(const std::vector<std::vector<int>>& sets) {
@@ -97,6 +103,8 @@ std::vector<int> GreedyHittingSet(const Instance& instance) {
     });
   }
   std::sort(h.begin(), h.end());
+  QOCO_DCHECK_OK(AuditHittingSet(instance, h))
+      << "GreedyHittingSet returned a set that misses a witness";
   return h;
 }
 
@@ -132,7 +140,32 @@ std::vector<int> ExactMinimumHittingSet(const Instance& instance) {
   std::set<int> current;
   Branch(instance.sets, 0, &current, &best);
   std::sort(best.begin(), best.end());
+  QOCO_DCHECK_OK(AuditHittingSet(instance, best))
+      << "ExactMinimumHittingSet returned a set that misses a witness";
   return best;
+}
+
+common::Status AuditHittingSet(const Instance& instance,
+                               const std::vector<int>& h) {
+  common::InvariantAuditor audit("hittingset");
+  std::set<int> hs;
+  for (int e : h) {
+    if (!hs.insert(e).second) {
+      audit.Violation() << "element " << e << " appears more than once";
+    }
+    if (instance.num_elements > 0 &&
+        (e < 0 || static_cast<size_t>(e) >= instance.num_elements)) {
+      audit.Violation() << "element " << e << " is outside the universe [0, "
+                        << instance.num_elements << ")";
+    }
+  }
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    if (!Hits(instance.sets[i], hs)) {
+      audit.Violation() << "set " << i << " (of " << instance.sets.size()
+                        << ") is not hit";
+    }
+  }
+  return audit.Finish();
 }
 
 }  // namespace qoco::hittingset

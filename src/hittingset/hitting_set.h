@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace qoco::hittingset {
 
 /// A hitting-set instance (U, S): universe elements are ints
@@ -42,6 +44,16 @@ std::vector<int> GreedyHittingSet(const Instance& instance);
 /// small instances (tests, ablation baselines). Returns a hitting set of
 /// minimum cardinality (sorted).
 std::vector<int> ExactMinimumHittingSet(const Instance& instance);
+
+/// Deep audit of a hitting set `h` against `instance`: h must hit every
+/// set (every witness), contain no duplicates, and — when the instance
+/// declares a universe (num_elements > 0) — only in-range elements.
+/// GreedyHittingSet / ExactMinimumHittingSet / UniqueMinimalHittingSet
+/// QOCO_DCHECK this on their own results; corruption-injection tests and
+/// callers handing crowd-derived sets around use it directly. Returns OK or
+/// a kInternal Status listing every violation.
+common::Status AuditHittingSet(const Instance& instance,
+                               const std::vector<int>& h);
 
 }  // namespace qoco::hittingset
 

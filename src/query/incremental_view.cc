@@ -1,6 +1,9 @@
 #include "src/query/incremental_view.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/common/invariant.h"
 
 namespace qoco::query {
 
@@ -124,6 +127,98 @@ void IncrementalView::OnErase(const relational::Fact& f) {
                 [](const AnswerInfo& info) { return info.assignments.empty(); });
 }
 
+common::Status IncrementalView::AuditInvariants() const {
+  common::InvariantAuditor audit("query::IncrementalView");
+  const std::vector<AnswerInfo>& answers = result_.answers();
+
+  // Structural invariants of the cached result.
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const AnswerInfo& info = answers[i];
+    const std::string tuple = relational::TupleToString(info.tuple);
+    if (i + 1 < answers.size() && !(info.tuple < answers[i + 1].tuple)) {
+      audit.Violation() << "answers not strictly sorted at " << tuple;
+    }
+    if (info.assignments.empty()) {
+      audit.Violation() << "answer " << tuple
+                        << " has no assignments (survived GC empty)";
+    }
+    if (info.witnesses.empty()) {
+      audit.Violation() << "answer " << tuple << " has no witnesses";
+    }
+    for (const provenance::Witness& w : info.witnesses) {
+      for (const relational::Fact& f : w.facts()) {
+        if (!db_->Contains(f)) {
+          audit.Violation() << "answer " << tuple
+                            << " has a witness over the absent fact "
+                            << db_->FactToString(f);
+        }
+      }
+    }
+    for (const Assignment& a : info.assignments) {
+      std::optional<relational::Tuple> head = a.ApplyHead(q_.head());
+      if (!head.has_value() || *head != info.tuple) {
+        audit.Violation() << "answer " << tuple
+                          << " caches an assignment grounding to a "
+                          << "different head";
+        continue;
+      }
+      provenance::Witness w = Evaluator::WitnessFor(q_, a);
+      if (std::find(info.witnesses.begin(), info.witnesses.end(), w) ==
+          info.witnesses.end()) {
+        audit.Violation() << "answer " << tuple
+                          << " misses the witness of one of its assignments";
+      }
+    }
+  }
+
+  // Semantic invariant: the delta-maintained result must equal a
+  // from-scratch evaluation over the current database.
+  EvalResult fresh = evaluator_.Evaluate(q_);
+  if (fresh.size() != answers.size()) {
+    audit.Violation() << "cached result has " << answers.size()
+                      << " answers, from-scratch evaluation has "
+                      << fresh.size();
+  }
+  for (const AnswerInfo& want : fresh.answers()) {
+    const std::string tuple = relational::TupleToString(want.tuple);
+    const AnswerInfo* got = result_.Find(want.tuple);
+    if (got == nullptr) {
+      audit.Violation() << "answer " << tuple << " is missing from the view";
+      continue;
+    }
+    provenance::WitnessSet got_w = got->witnesses;
+    provenance::WitnessSet want_w = want.witnesses;
+    std::sort(got_w.begin(), got_w.end());
+    std::sort(want_w.begin(), want_w.end());
+    if (got_w != want_w) {
+      audit.Violation() << "witness set of " << tuple
+                        << " differs from from-scratch evaluation";
+    }
+    if (got->assignments.size() != want.assignments.size()) {
+      audit.Violation() << "answer " << tuple << " caches "
+                        << got->assignments.size() << " assignments, "
+                        << "from-scratch evaluation finds "
+                        << want.assignments.size();
+      continue;
+    }
+    for (const Assignment& a : want.assignments) {
+      if (std::find(got->assignments.begin(), got->assignments.end(), a) ==
+          got->assignments.end()) {
+        audit.Violation() << "an assignment of " << tuple
+                          << " is missing from the view";
+      }
+    }
+  }
+  for (const AnswerInfo& info : answers) {
+    if (fresh.Find(info.tuple) == nullptr) {
+      audit.Violation() << "answer " << relational::TupleToString(info.tuple)
+                        << " is cached but not produced by from-scratch "
+                        << "evaluation";
+    }
+  }
+  return audit.Finish();
+}
+
 IncrementalUnionView::IncrementalUnionView(const UnionQuery& q,
                                            const relational::Database* db) {
   views_.reserve(q.disjuncts().size());
@@ -166,6 +261,15 @@ void IncrementalUnionView::OnInsert(const relational::Fact& f) {
 
 void IncrementalUnionView::OnErase(const relational::Fact& f) {
   for (IncrementalView& view : views_) view.OnErase(f);
+}
+
+common::Status IncrementalUnionView::AuditInvariants() const {
+  common::InvariantAuditor audit("query::IncrementalUnionView");
+  for (size_t i = 0; i < views_.size(); ++i) {
+    audit.Merge("disjunct " + std::to_string(i),
+                views_[i].AuditInvariants());
+  }
+  return audit.Finish();
 }
 
 }  // namespace qoco::query

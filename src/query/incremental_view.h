@@ -66,7 +66,19 @@ class IncrementalView {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Deep audit of the maintained result: answers strictly sorted, no
+  /// answer without assignments or witnesses survived GC, every cached
+  /// witness round-trips through the live database and through its
+  /// assignment, and the whole cached EvalResult (answer set, witness sets,
+  /// assignment sets) equals a from-scratch evaluation of the query. Costs
+  /// one full evaluation — debug/fuzz tooling, not the hot path. Does not
+  /// touch stats(). Returns OK or kInternal listing every violation.
+  common::Status AuditInvariants() const;
+
  private:
+  // Test-only backdoor used by the corruption-injection tests to seed
+  // invariant violations (tests/invariant_audit_test.cc).
+  friend struct IncrementalViewCorruptor;
   /// True iff some body atom ranges over `rel`.
   bool Relevant(relational::RelationId rel) const;
 
@@ -101,7 +113,13 @@ class IncrementalUnionView {
   void OnInsert(const relational::Fact& f);
   void OnErase(const relational::Fact& f);
 
+  /// Audits every disjunct view; violations are prefixed with the disjunct
+  /// index.
+  common::Status AuditInvariants() const;
+
  private:
+  friend struct IncrementalViewCorruptor;
+
   std::vector<IncrementalView> views_;
 };
 

@@ -1,5 +1,7 @@
 #include "src/relational/database.h"
 
+#include "src/common/invariant.h"
+
 namespace qoco::relational {
 
 Database::Database(const Catalog* catalog) : catalog_(catalog) {
@@ -73,6 +75,15 @@ size_t Database::Distance(const Database& other) const {
 
 std::string Database::FactToString(const Fact& fact) const {
   return catalog_->relation_name(fact.relation) + TupleToString(fact.tuple);
+}
+
+common::Status Database::AuditInvariants() const {
+  common::InvariantAuditor audit("relational::Database");
+  for (size_t id = 0; id < relations_.size(); ++id) {
+    audit.Merge(catalog_->relation_name(static_cast<RelationId>(id)),
+                relations_[id].AuditInvariants());
+  }
+  return audit.Finish();
 }
 
 }  // namespace qoco::relational

@@ -62,6 +62,10 @@ class Database {
   /// Renders the fact as "Rel(v1, v2, ...)" using the catalog.
   std::string FactToString(const Fact& fact) const;
 
+  /// Runs Relation::AuditInvariants on every relation; violations are
+  /// prefixed with the relation's catalog name.
+  common::Status AuditInvariants() const;
+
  private:
   const Catalog* catalog_;
   std::vector<Relation> relations_;

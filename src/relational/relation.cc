@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+#include "src/common/invariant.h"
+
 namespace qoco::relational {
 
 const std::vector<uint32_t> Relation::kEmptyRows;
 
 bool Relation::Insert(const Tuple& t) {
+  QOCO_DCHECK_EQ(t.size(), arity_)
+      << "arity mismatch inserting " << TupleToString(t);
   if (membership_.contains(t)) return false;
   uint32_t pos = static_cast<uint32_t>(rows_.size());
   rows_.push_back(t);
@@ -43,8 +48,13 @@ bool Relation::Erase(const Tuple& t) {
 void Relation::RemovePosting(size_t column, const Value& v, uint32_t pos) {
   auto& index = column_index_[column];
   auto it = index.find(v);
+  QOCO_DCHECK(it != index.end())
+      << "no posting list for " << v.ToString() << " in column " << column;
   std::vector<uint32_t>& list = it->second;
   auto slot = std::find(list.begin(), list.end(), pos);
+  QOCO_DCHECK(slot != list.end())
+      << "position " << pos << " missing from the posting list of "
+      << v.ToString() << " in column " << column;
   *slot = list.back();
   list.pop_back();
   if (list.empty()) index.erase(it);
@@ -52,8 +62,15 @@ void Relation::RemovePosting(size_t column, const Value& v, uint32_t pos) {
 
 void Relation::RepointPosting(size_t column, const Value& v, uint32_t from,
                               uint32_t to) {
-  std::vector<uint32_t>& list = column_index_[column].find(v)->second;
-  *std::find(list.begin(), list.end(), from) = to;
+  auto it = column_index_[column].find(v);
+  QOCO_DCHECK(it != column_index_[column].end())
+      << "no posting list for " << v.ToString() << " in column " << column;
+  std::vector<uint32_t>& list = it->second;
+  auto slot = std::find(list.begin(), list.end(), from);
+  QOCO_DCHECK(slot != list.end())
+      << "position " << from << " missing from the posting list of "
+      << v.ToString() << " in column " << column;
+  *slot = to;
 }
 
 void Relation::EnsureIndex(size_t column) const {
@@ -89,6 +106,73 @@ std::vector<Value> Relation::ColumnDomain(size_t column) const {
   }
   std::sort(domain.begin(), domain.end());
   return domain;
+}
+
+common::Status Relation::AuditInvariants() const {
+  common::InvariantAuditor audit("relational::Relation");
+
+  // Row store <-> membership map round-trip.
+  if (membership_.size() != rows_.size()) {
+    audit.Violation() << "membership has " << membership_.size()
+                      << " entries for " << rows_.size() << " rows";
+  }
+  for (uint32_t pos = 0; pos < rows_.size(); ++pos) {
+    const Tuple& row = rows_[pos];
+    if (row.size() != arity_) {
+      audit.Violation() << "row " << pos << " has arity " << row.size()
+                        << ", relation arity is " << arity_;
+      continue;
+    }
+    auto it = membership_.find(row);
+    if (it == membership_.end()) {
+      audit.Violation() << "row " << pos << " " << TupleToString(row)
+                        << " is missing from the membership map";
+    } else if (it->second != pos) {
+      audit.Violation() << "membership points " << TupleToString(row)
+                        << " at position " << it->second << ", stored at "
+                        << pos;
+    }
+  }
+
+  // Built column indexes: every posting round-trips through the row store,
+  // no list is empty, no list holds duplicates, and per column the posting
+  // counts cover the rows exactly once (so swap-remove left no stale or
+  // dangling last-row positions behind).
+  for (size_t col = 0; col < arity_; ++col) {
+    if (!index_valid_[col]) continue;
+    size_t postings = 0;
+    for (const auto& [value, list] : column_index_[col]) {
+      if (list.empty()) {
+        audit.Violation() << "column " << col
+                          << " keeps an empty posting list for "
+                          << value.ToString();
+      }
+      postings += list.size();
+      std::vector<uint32_t> sorted = list;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        audit.Violation() << "column " << col << " posting list of "
+                          << value.ToString() << " holds duplicate positions";
+      }
+      for (uint32_t pos : list) {
+        if (pos >= rows_.size()) {
+          audit.Violation() << "column " << col << " posting list of "
+                            << value.ToString() << " holds stale position "
+                            << pos << " (only " << rows_.size() << " rows)";
+        } else if (rows_[pos][col] != value) {
+          audit.Violation() << "column " << col << " posting list of "
+                            << value.ToString() << " lists position " << pos
+                            << " whose value is "
+                            << rows_[pos][col].ToString();
+        }
+      }
+    }
+    if (postings != rows_.size()) {
+      audit.Violation() << "column " << col << " indexes " << postings
+                        << " postings for " << rows_.size() << " rows";
+    }
+  }
+  return audit.Finish();
 }
 
 }  // namespace qoco::relational

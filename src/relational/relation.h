@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/relational/tuple.h"
 
 namespace qoco::relational {
@@ -67,7 +68,19 @@ class Relation {
   /// Distinct values appearing in `column`.
   std::vector<Value> ColumnDomain(size_t column) const;
 
+  /// Deep audit of every class invariant: membership round-trips through
+  /// the row store, every built posting list entry matches its row (no
+  /// stale positions left behind by the swap-remove maintenance), no
+  /// posting list is empty, and per built column the posting counts cover
+  /// the rows exactly once. O(rows × arity) plus hashing; meant for debug
+  /// builds, fuzz checkpoints, and the corruption-injection tests — not the
+  /// hot path. Returns OK or a kInternal Status listing every violation.
+  common::Status AuditInvariants() const;
+
  private:
+  // Test-only backdoor used by the corruption-injection tests to seed
+  // invariant violations (tests/invariant_audit_test.cc).
+  friend struct RelationCorruptor;
   void EnsureIndex(size_t column) const;
 
   /// Removes position `pos` from the posting list of `v` in `column`'s

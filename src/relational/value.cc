@@ -4,6 +4,28 @@
 
 namespace qoco::relational {
 
+// The only translation unit that instantiates the variant copy: GCC 12
+// emits false-positive -Wmaybe-uninitialized for std::variant copy
+// construction under -O2 (GCC PR105593), which would otherwise fire on
+// every Value temporary in every TU. Keeping the copy out of line confines
+// the suppression to these two definitions and leaves the warning live for
+// all other code.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+Value::Value(const Value& other) : data_(other.data_) {}
+
+Value& Value::operator=(const Value& other) {
+  data_ = other.data_;
+  return *this;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 std::string Value::ToString() const {
   if (is_null()) return "NULL";
   if (is_int()) return std::to_string(AsInt());

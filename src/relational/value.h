@@ -32,6 +32,16 @@ class Value {
   /// Constructs a string value from a literal.
   explicit Value(const char* v) : data_(std::string(v)) {}
 
+  /// Copies are defined out of line (value.cc) so the std::variant copy —
+  /// which GCC 12 misdiagnoses under -O2 (-Wmaybe-uninitialized, GCC
+  /// PR105593) — is instantiated in exactly one translation unit, behind a
+  /// targeted pragma, instead of suppressing the warning globally.
+  Value(const Value& other);
+  Value& operator=(const Value& other);
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+  ~Value() = default;
+
   bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
   bool is_int() const { return std::holds_alternative<int64_t>(data_); }
   bool is_double() const { return std::holds_alternative<double>(data_); }

@@ -74,6 +74,11 @@ TEST_P(AggregateFuzzTest, PerfectOracleRepairsRandomAggregateViews) {
     auto stats = cleaner.Run();
     ASSERT_TRUE(stats.ok()) << stats.status().ToString();
 
+    // The cleaning session's edit traffic must leave the index maintenance
+    // structurally sound.
+    common::Status audit = db.AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+
     query::AggregateEvaluator cleaned(&db);
     query::AggregateEvaluator want(&truth);
     EXPECT_EQ(cleaned.AnswerTuples(*agg), want.AnswerTuples(*agg))

@@ -1,0 +1,159 @@
+// Death tests for the QOCO_CHECK / QOCO_DCHECK macro family (failure
+// messages carry file:line, the condition text, and streamed context) and
+// unit tests for the InvariantAuditor / AuditTicker audit helpers.
+
+#include "src/common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/invariant.h"
+#include "src/common/status.h"
+
+namespace qoco::common {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, MessageNamesFileLineAndCondition) {
+  int x = 1;
+  int y = 2;
+  EXPECT_DEATH(QOCO_CHECK(x == y),
+               "check_test\\.cc:[0-9]+: QOCO_CHECK\\(x == y\\) failed");
+}
+
+TEST(CheckDeathTest, MessageCarriesStreamedContext) {
+  std::vector<int> rows = {1, 2, 3};
+  size_t pos = 7;
+  EXPECT_DEATH(QOCO_CHECK(pos < rows.size())
+                   << "pos=" << pos << " size=" << rows.size(),
+               "failed: pos=7 size=3");
+}
+
+TEST(CheckDeathTest, CheckOkEmbedsStatusToString) {
+  EXPECT_DEATH(QOCO_CHECK_OK(Status::NotFound("no such posting list")),
+               "NotFound: no such posting list");
+}
+
+TEST(CheckDeathTest, CheckOkAppendsStreamedContextAfterStatus) {
+  auto failing = [] { return Status::Internal("audit tripped"); };
+  EXPECT_DEATH(QOCO_CHECK_OK(failing()) << "during step " << 12,
+               "Internal: audit tripped during step 12");
+}
+
+TEST(CheckDeathTest, ComparisonSpellingsNameBothOperands) {
+  size_t arity = 2;
+  size_t width = 3;
+  EXPECT_DEATH(QOCO_CHECK_EQ(arity, width),
+               "QOCO_CHECK\\(\\(arity\\) == \\(width\\)\\) failed");
+  EXPECT_DEATH(QOCO_CHECK_LT(width, arity), "failed");
+}
+
+TEST(CheckTest, PassingChecksDoNotAbortOrPrint) {
+  int x = 1;
+  QOCO_CHECK(x == 1) << "never rendered";
+  QOCO_CHECK_OK(Status::OK()) << "never rendered";
+  QOCO_CHECK_EQ(x, 1);
+  QOCO_CHECK_NE(x, 2);
+  QOCO_CHECK_LE(x, 1);
+  QOCO_CHECK_GE(x, 1);
+  QOCO_CHECK_GT(x, 0);
+  QOCO_CHECK_LT(x, 2);
+  SUCCEED();
+}
+
+TEST(CheckTest, CheckOkEvaluatesTheExpressionExactlyOnce) {
+  int evaluations = 0;
+  auto ok_status = [&evaluations] {
+    ++evaluations;
+    return Status::OK();
+  };
+  QOCO_CHECK_OK(ok_status());
+  EXPECT_EQ(evaluations, 1);
+}
+
+// QOCO_DCHECK is QOCO_CHECK when kDebugChecksEnabled and compiled to
+// nothing otherwise; both arms of the build configuration are covered by
+// the CI matrix (Release has NDEBUG, the sanitizer preset forces
+// QOCO_DEBUG_CHECKS=1), so this test asserts whichever behavior the current
+// build declares.
+TEST(DCheckDeathTest, FiresExactlyWhenDebugChecksEnabled) {
+  bool flag = false;
+  if (kDebugChecksEnabled) {
+    EXPECT_DEATH(QOCO_DCHECK(flag) << "debug-only", "QOCO_CHECK");
+    EXPECT_DEATH(QOCO_DCHECK_OK(Status::Internal("boom")), "Internal: boom");
+  } else {
+    QOCO_DCHECK(flag) << "compiled out";
+    QOCO_DCHECK_OK(Status::Internal("boom")) << "compiled out";
+    SUCCEED();
+  }
+}
+
+TEST(DCheckTest, DisabledDCheckDoesNotEvaluateOperands) {
+  int evaluations = 0;
+  auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  QOCO_DCHECK(bump());
+  EXPECT_EQ(evaluations, kDebugChecksEnabled ? 1 : 0);
+}
+
+TEST(InvariantAuditorTest, StartsCleanAndFinishesOk) {
+  InvariantAuditor audit("relational::Relation");
+  EXPECT_TRUE(audit.ok());
+  EXPECT_EQ(audit.violation_count(), 0u);
+  EXPECT_TRUE(audit.Finish().ok());
+}
+
+TEST(InvariantAuditorTest, FinishListsEveryViolationWithSubjectAndCount) {
+  InvariantAuditor audit("relational::Relation");
+  audit.Violation() << "posting list for col " << 0 << " is empty";
+  audit.Violation() << "membership entry points at row " << 9;
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.violation_count(), 2u);
+
+  Status s = audit.Finish();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("relational::Relation"), std::string::npos);
+  EXPECT_NE(s.message().find("2 violation(s)"), std::string::npos);
+  EXPECT_NE(s.message().find("posting list for col 0 is empty"),
+            std::string::npos);
+  EXPECT_NE(s.message().find("membership entry points at row 9"),
+            std::string::npos);
+}
+
+TEST(InvariantAuditorTest, MergePrefixesNestedAuditsAndIgnoresOk) {
+  InvariantAuditor inner("inner");
+  inner.Violation() << "stale position 4";
+
+  InvariantAuditor outer("relational::Database");
+  outer.Merge("relation R", inner.Finish());
+  outer.Merge("relation S", Status::OK());
+  EXPECT_EQ(outer.violation_count(), 1u);
+
+  Status s = outer.Finish();
+  EXPECT_NE(s.message().find("relation R: "), std::string::npos);
+  EXPECT_NE(s.message().find("stale position 4"), std::string::npos);
+  EXPECT_EQ(s.message().find("relation S"), std::string::npos);
+}
+
+TEST(AuditTickerTest, TicksOnFirstCallAndThenEveryPeriod) {
+  AuditTicker ticker(3);
+  std::vector<bool> ticks;
+  for (int i = 0; i < 7; ++i) ticks.push_back(ticker.Tick());
+  EXPECT_EQ(ticks, (std::vector<bool>{true, false, false, true, false, false,
+                                      true}));
+}
+
+TEST(AuditTickerTest, ZeroPeriodTicksEveryCall) {
+  AuditTicker ticker(0);
+  EXPECT_TRUE(ticker.Tick());
+  EXPECT_TRUE(ticker.Tick());
+  EXPECT_TRUE(ticker.Tick());
+}
+
+}  // namespace
+}  // namespace qoco::common

@@ -37,6 +37,50 @@ TEST(StatusTest, EveryCodeHasAName) {
   }
 }
 
+TEST(StatusTest, EveryFactoryProducesItsCodeAndToString) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "InvalidArgument: m"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NotFound: m"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "AlreadyExists: m"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OutOfRange: m"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition: m"},
+      {Status::Internal("m"), StatusCode::kInternal, "Internal: m"},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented,
+       "Unimplemented: m"},
+      {Status::ParseError("m"), StatusCode::kParseError, "ParseError: m"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+  }
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorWithEmptyMessageStillRendersTheCode) {
+  Status s = Status::Internal("");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "Internal: ");
+}
+
+TEST(StatusTest, CopyPreservesCodeAndMessage) {
+  Status original = Status::ParseError("line 3: expected ')'");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kParseError);
+  EXPECT_EQ(copy.message(), original.message());
+  EXPECT_EQ(copy.ToString(), original.ToString());
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());
@@ -54,6 +98,16 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("payload"));
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultDeathTest, AccessingTheValueOfAnErrorAborts) {
+  Result<int> r(Status::OutOfRange("index 9 past end"));
+  EXPECT_DEATH(r.value(), "QOCO fatal: OutOfRange: index 9 past end");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int>{Status::OK()},
+               "Result constructed from OK status without a value");
 }
 
 namespace {

@@ -155,6 +155,11 @@ TEST_P(FuzzConvergenceTest, PerfectOracleAlwaysRepairsTheView) {
     auto stats = cleaner.Run();
     ASSERT_TRUE(stats.ok()) << stats.status().ToString();
 
+    // The cleaning session's edit traffic must leave the index maintenance
+    // structurally sound.
+    common::Status audit = db.AuditInvariants();
+    ASSERT_TRUE(audit.ok()) << audit.ToString();
+
     EXPECT_EQ(Result(inst.query, db), Result(inst.query, *inst.truth))
         << "seed " << GetParam() << " round " << round << " query "
         << inst.query.ToString(*inst.catalog);

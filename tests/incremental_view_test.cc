@@ -243,6 +243,15 @@ void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
     }
     ++*performed;
     ExpectSameResult(view.result(), evaluator.Evaluate(q), "after step");
+    // Periodic deep audit: the index maintenance inside the database and
+    // the delta-maintained view both uphold their class invariants, not
+    // just result equality.
+    if (step % 25 == 0) {
+      common::Status view_audit = view.AuditInvariants();
+      ASSERT_TRUE(view_audit.ok()) << view_audit.ToString();
+      common::Status db_audit = db->AuditInvariants();
+      ASSERT_TRUE(db_audit.ok()) << db_audit.ToString();
+    }
   }
 }
 

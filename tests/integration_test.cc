@@ -27,8 +27,8 @@ using cleaning::SplitStrategy;
 using relational::Tuple;
 
 const workload::SoccerData& Soccer() {
-  static const workload::SoccerData& data = *new workload::SoccerData(
-      std::move(workload::MakeSoccerData(workload::SoccerParams{})).value());
+  static workload::SoccerData data =
+      std::move(workload::MakeSoccerData(workload::SoccerParams{})).value();
   return data;
 }
 

@@ -87,7 +87,8 @@ TEST(WeightedVotingTest, ReliabilityRankingTracksAccuracy) {
   auto s = std::move(sample).value();
   SimulatedOracle truth(s.ground_truth.get());
 
-  auto run = [&](bool weighted, uint64_t seed, CrowdPanel** out_panel,
+  auto run = [&](bool weighted, uint64_t seed,
+                 std::unique_ptr<CrowdPanel>* out_panel,
                  std::vector<std::unique_ptr<Oracle>>* members) {
     members->clear();
     members->push_back(std::make_unique<SimulatedOracle>(s.ground_truth.get()));
@@ -98,10 +99,11 @@ TEST(WeightedVotingTest, ReliabilityRankingTracksAccuracy) {
     PanelConfig config;
     config.sample_size = 3;
     config.weighted_voting = weighted;
-    auto* panel = new CrowdPanel(
-        {(*members)[0].get(), (*members)[1].get(), (*members)[2].get()},
+    *out_panel = std::make_unique<CrowdPanel>(
+        std::vector<Oracle*>{(*members)[0].get(), (*members)[1].get(),
+                             (*members)[2].get()},
         config);
-    *out_panel = panel;
+    CrowdPanel* panel = out_panel->get();
     size_t wrong = 0;
     size_t asked = 0;
     for (int sweep = 0; sweep < 6; ++sweep) {
@@ -118,19 +120,17 @@ TEST(WeightedVotingTest, ReliabilityRankingTracksAccuracy) {
   };
 
   std::vector<std::unique_ptr<Oracle>> members;
-  CrowdPanel* weighted_panel = nullptr;
+  std::unique_ptr<CrowdPanel> weighted_panel;
   double weighted_err = run(true, 5, &weighted_panel, &members);
   // Learned ranking matches the true accuracies 1.0 > 0.8 > 0.65.
   EXPECT_GT(weighted_panel->MemberReliability(0),
             weighted_panel->MemberReliability(1));
   EXPECT_GT(weighted_panel->MemberReliability(1),
             weighted_panel->MemberReliability(2));
-  delete weighted_panel;
 
   std::vector<std::unique_ptr<Oracle>> members2;
-  CrowdPanel* majority_panel = nullptr;
+  std::unique_ptr<CrowdPanel> majority_panel;
   double majority_err = run(false, 5, &majority_panel, &members2);
-  delete majority_panel;
 
   EXPECT_LE(weighted_err, majority_err + 0.05);
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "src/query/evaluator.h"
@@ -24,13 +25,14 @@ class SoccerTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto data = MakeSoccerData(SoccerParams{});
     ASSERT_TRUE(data.ok());
-    data_ = new SoccerData(std::move(data).value());
+    data_ = std::make_unique<SoccerData>(std::move(data).value());
   }
+  static void TearDownTestSuite() { data_.reset(); }
 
-  static SoccerData* data_;
+  static std::unique_ptr<SoccerData> data_;
 };
 
-SoccerData* SoccerTest::data_ = nullptr;
+std::unique_ptr<SoccerData> SoccerTest::data_;
 
 TEST_F(SoccerTest, ScaleIsComparableToThePaper) {
   // The paper's Soccer database has ~5000 tuples.

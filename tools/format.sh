@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# clang-format wrapper over the whole tree (.clang-format at the repo root).
+#
+#   tools/format.sh           rewrite files in place
+#   tools/format.sh --check   fail (exit 1) if any file needs reformatting;
+#                             this is what CI runs
+#
+# Skips gracefully when clang-format is not installed locally (the CI job
+# always has it), so the script is safe to call from pre-commit hooks.
+set -u
+
+cd "$(dirname "$0")/.."
+
+clang_format="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "format: $clang_format not found; skipping (CI enforces formatting)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench -name '*.cc' -o -name '*.h' | sort)
+
+if [[ "${1:-}" == "--check" ]]; then
+  if "$clang_format" --dry-run --Werror "${files[@]}"; then
+    echo "format: clean (${#files[@]} files)"
+  else
+    echo "format: run tools/format.sh to fix" >&2
+    exit 1
+  fi
+else
+  "$clang_format" -i "${files[@]}"
+  echo "format: formatted ${#files[@]} files"
+fi

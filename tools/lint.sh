@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Project-specific lint for patterns the compiler accepts but the codebase
+# bans. Run from anywhere: tools/lint.sh [--verbose]. Exit 0 iff clean.
+#
+# Rules:
+#   1. No naked `new` / `delete`: ownership goes through std::make_unique,
+#      containers, or values (tests included; gtest fixtures are no excuse).
+#   2. No C randomness (rand/srand/random_shuffle): all randomness flows
+#      through common::Rng so experiments stay reproducible from the seed.
+#   3. Iterator-invalidation heuristic: no Insert/Erase on a relation while
+#      range-iterating its rows() — the swap-remove invalidates the row
+#      vector mid-loop.
+set -u
+
+cd "$(dirname "$0")/.."
+
+verbose=0
+[[ "${1:-}" == "--verbose" ]] && verbose=1
+
+mapfile -t files < <(find src tests bench tools -name '*.cc' -o -name '*.h' \
+  2>/dev/null | sort)
+
+failures=0
+
+report() { # file:line message
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# strip_comments FILE: drop // comments (string literals with // are rare
+# enough in this codebase that the simple form is fine).
+strip_comments() { sed 's@//.*$@@' "$1"; }
+
+for f in "${files[@]}"; do
+  [[ $verbose -eq 1 ]] && echo "lint: checking $f"
+
+  # Rule 1: naked new / delete.
+  while IFS= read -r hit; do
+    report "$f:$hit: naked 'new'/'delete'; use std::make_unique or a value"
+  done < <(strip_comments "$f" \
+    | grep -nE '(^|[^[:alnum:]_])(new[[:space:]]+[[:alnum:]_:]|delete[[:space:]]+[[:alnum:]_]|delete\[\])' \
+    | grep -vE 'operator (new|delete)' | cut -d: -f1)
+
+  # Rule 2: C randomness.
+  while IFS= read -r hit; do
+    report "$f:$hit: rand()/srand()/random_shuffle; use common::Rng"
+  done < <(strip_comments "$f" \
+    | grep -nE '(^|[^[:alnum:]_:.])(s?rand[[:space:]]*\(|random_shuffle)' \
+    | cut -d: -f1)
+
+  # Rule 3: mutating a relation while range-iterating its rows().
+  # (mawk-compatible: no POSIX classes, no 3-arg match.)
+  while IFS= read -r hit; do
+    report "$f:$hit: Insert/Erase on a relation while iterating its rows();\
+ the swap-remove invalidates the loop"
+  done < <(strip_comments "$f" | awk '
+    /for[ \t]*\(.*:.*rows\(\)/ {
+      v = $0
+      sub(/(\.|->)rows\(\).*/, "", v)   # cut at .rows()
+      sub(/.*[^A-Za-z0-9_]/, "", v)     # keep the identifier before it
+      if (v != "") { var = v; start = NR; scanning = 1 }
+    }
+    scanning && NR > start {
+      if ($0 ~ (var "(\\.|->)(Insert|Erase)\\(")) { print start; scanning = 0 }
+      else if (NR - start > 40 || $0 ~ /^}/) scanning = 0
+    }')
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "lint: $failures violation(s)" >&2
+  exit 1
+fi
+echo "lint: clean (${#files[@]} files)"
