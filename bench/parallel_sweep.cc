@@ -1,0 +1,325 @@
+// Serial-vs-N-thread sweep for the parallel evaluation engine, emitting
+// BENCH_parallel.json (consumed by EXPERIMENTS.md §Parallel evaluation).
+//
+// Two sweeps, because the engine has two distinct things to overlap:
+//
+//  * cpu_bound_incremental_edit_loop — the BM_IncrementalEditLoop workload
+//    (soccer Q3, 100-edit script, delta-maintained view) with the
+//    evaluator fanning its root scan across the pool. Speedup here tracks
+//    physical cores; on a single-core host it stays ~1x by design.
+//
+//  * latency_bound_concurrent_sessions — N independent cleaning sessions
+//    whose oracle charges a simulated crowd latency per question
+//    (Section 7: human latency dominates next-question selection). The
+//    sessions are distributed over the pool, so waiting-on-the-crowd
+//    overlaps and wall-clock speedup approaches min(threads, sessions)
+//    even on one core.
+//
+// Both sweeps re-verify the determinism contract while timing: every
+// thread count must reproduce the serial transcript (answers per step,
+// question counts, edit counts) or the binary exits nonzero.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cleaning/cleaner.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/question_log.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/incremental_view.h"
+#include "src/workload/noise.h"
+#include "src/workload/soccer.h"
+
+namespace {
+
+using namespace qoco;  // NOLINT(build/namespaces): benchmark driver.
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr size_t kNumSessions = 8;
+constexpr double kOracleLatencyMs = 2.0;
+constexpr int kRepetitions = 3;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Wraps an oracle and charges a fixed latency per question, modelling the
+/// crowd round-trip the paper identifies as the dominant cost.
+class LatencyOracle : public crowd::Oracle {
+ public:
+  LatencyOracle(crowd::Oracle* inner, double latency_ms)
+      : inner_(inner), latency_(latency_ms) {}
+
+  bool IsFactTrue(const relational::Fact& fact) override {
+    Charge();
+    return inner_->IsFactTrue(fact);
+  }
+  bool IsAnswerTrue(const query::CQuery& q,
+                    const relational::Tuple& t) override {
+    Charge();
+    return inner_->IsAnswerTrue(q, t);
+  }
+  bool IsAnswerTrue(const query::UnionQuery& q,
+                    const relational::Tuple& t) override {
+    Charge();
+    return inner_->IsAnswerTrue(q, t);
+  }
+  std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) override {
+    Charge();
+    return inner_->Complete(q, partial);
+  }
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) override {
+    Charge();
+    return inner_->MissingAnswer(q, current);
+  }
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) override {
+    Charge();
+    return inner_->MissingAnswer(q, current);
+  }
+
+ private:
+  void Charge() {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_));
+  }
+
+  crowd::Oracle* inner_;
+  double latency_;
+};
+
+/// Same fact pool and draw sequence as perf_microbench's EditScript.
+std::vector<relational::Fact> EditScript(const query::CQuery& q,
+                                         const relational::Database& db,
+                                         size_t count, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<relational::Fact> pool;
+  for (const query::Atom& atom : q.atoms()) {
+    const relational::Relation& rel = db.relation(atom.relation);
+    for (const relational::Tuple& t : rel.rows()) {
+      pool.push_back(relational::Fact{atom.relation, t});
+    }
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  std::vector<relational::Fact> script;
+  script.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    script.push_back(pool[rng.Index(pool.size())]);
+  }
+  return script;
+}
+
+struct ConfigTiming {
+  size_t threads = 0;
+  double wall_ms = 0;
+  double speedup = 1.0;
+};
+
+/// BM_IncrementalEditLoop at a given thread count: 100 edits against
+/// soccer Q3 with the view delta-maintained and the evaluator's root scan
+/// parallelized. Returns best-of-kRepetitions wall time; appends the
+/// per-step answer-count signature to *signature for cross-config
+/// comparison.
+double TimeEditLoop(const workload::SoccerData& data, const query::CQuery& q,
+                    size_t threads, std::vector<size_t>* signature) {
+  relational::Database db = *data.ground_truth;
+  std::vector<relational::Fact> script = EditScript(q, db, 50, 7);
+  std::optional<common::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  query::IncrementalView view(q, &db, pool ? &*pool : nullptr);
+  double best = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const relational::Fact& f : script) {
+      (void)db.Erase(f);
+      view.OnErase(f);
+      if (rep == 0) signature->push_back(view.result().size());
+      (void)db.Insert(f);
+      view.OnInsert(f);
+      if (rep == 0) signature->push_back(view.result().size());
+    }
+    double ms = MsSince(start);
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// kNumSessions independent cleaning sessions (soccer Q3, planted errors,
+/// crowd latency per question) distributed over a pool of `threads`
+/// workers. Each session is internally serial (num_threads = 1); the
+/// parallelism under test is *between* sessions. Appends each session's
+/// question-count string to *signature.
+double TimeConcurrentSessions(const workload::SoccerData& data,
+                              const query::CQuery& q, size_t threads,
+                              std::vector<std::string>* signature) {
+  // Prepare per-session inputs outside the timed region.
+  struct Session {
+    std::optional<relational::Database> db;
+    std::unique_ptr<crowd::SimulatedOracle> truth;
+    std::unique_ptr<LatencyOracle> oracle;
+    std::string questions;
+    bool ok = false;
+  };
+  std::vector<Session> sessions(kNumSessions);
+  for (size_t i = 0; i < kNumSessions; ++i) {
+    auto planted = workload::PlantErrors(q, *data.ground_truth, 2, 2,
+                                         /*seed=*/100 + i);
+    if (!planted.ok()) {
+      std::fprintf(stderr, "PlantErrors failed: %s\n",
+                   planted.status().ToString().c_str());
+      std::exit(1);
+    }
+    sessions[i].db = std::move(planted->db);
+    sessions[i].truth =
+        std::make_unique<crowd::SimulatedOracle>(data.ground_truth.get());
+    sessions[i].oracle =
+        std::make_unique<LatencyOracle>(sessions[i].truth.get(),
+                                        kOracleLatencyMs);
+  }
+
+  auto run_session = [&q](Session* s, uint64_t seed) {
+    crowd::CrowdPanel panel({s->oracle.get()}, crowd::PanelConfig{1});
+    cleaning::CleanerConfig config;
+    config.num_threads = 1;  // Sessions are serial; the pool runs sessions.
+    cleaning::QocoCleaner cleaner(q, &*s->db, &panel, config,
+                                  common::Rng(seed));
+    auto stats = cleaner.Run();
+    s->ok = stats.ok();
+    if (stats.ok()) s->questions = crowd::ToString(stats->questions);
+  };
+
+  common::ThreadPool pool(threads);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kNumSessions; ++i) {
+    Session* s = &sessions[i];
+    common::Status submitted =
+        pool.Submit([&run_session, s, i] { run_session(s, 3000 + i); });
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "Submit failed: %s\n",
+                   submitted.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  pool.Wait();
+  double ms = MsSince(start);
+  for (Session& s : sessions) {
+    if (!s.ok) {
+      std::fprintf(stderr, "cleaning session failed (threads=%zu)\n", threads);
+      std::exit(1);
+    }
+    signature->push_back(s.questions);
+  }
+  return ms;
+}
+
+template <typename Signature, typename TimeFn>
+std::vector<ConfigTiming> Sweep(const char* name, TimeFn time_fn) {
+  std::vector<ConfigTiming> timings;
+  Signature baseline;
+  for (size_t threads : kThreadCounts) {
+    Signature signature;
+    ConfigTiming t;
+    t.threads = threads;
+    t.wall_ms = time_fn(threads, &signature);
+    if (threads == 1) {
+      baseline = signature;
+    } else if (signature != baseline) {
+      std::fprintf(stderr, "%s: transcript diverges at threads=%zu\n", name,
+                   threads);
+      std::exit(1);
+    }
+    t.speedup = timings.empty() ? 1.0 : timings.front().wall_ms / t.wall_ms;
+    timings.push_back(t);
+    std::printf("  %-42s threads=%zu  %8.2f ms  speedup %.2fx\n", name,
+                threads, t.wall_ms, t.speedup);
+  }
+  return timings;
+}
+
+void AppendSweepJson(std::string* out, const char* name, const char* note,
+                     const std::vector<ConfigTiming>& timings, bool last) {
+  *out += "    {\n      \"name\": \"";
+  *out += name;
+  *out += "\",\n      \"note\": \"";
+  *out += note;
+  *out += "\",\n      \"configs\": [\n";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "        {\"threads\": %zu, \"wall_ms\": %.3f, "
+                  "\"speedup\": %.3f}%s\n",
+                  timings[i].threads, timings[i].wall_ms, timings[i].speedup,
+                  i + 1 < timings.size() ? "," : "");
+    *out += buf;
+  }
+  *out += last ? "      ]\n    }\n" : "      ]\n    },\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  auto data = std::move(workload::MakeSoccerData(workload::SoccerParams{}))
+                  .value();
+  auto q = std::move(workload::SoccerQuery(3, *data.catalog)).value();
+
+  std::printf("parallel sweep (hardware_concurrency=%u)\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<ConfigTiming> cpu = Sweep<std::vector<size_t>>(
+      "cpu_bound_incremental_edit_loop", [&](size_t threads, auto* sig) {
+        return TimeEditLoop(data, q, threads, sig);
+      });
+  std::vector<ConfigTiming> latency = Sweep<std::vector<std::string>>(
+      "latency_bound_concurrent_sessions", [&](size_t threads, auto* sig) {
+        return TimeConcurrentSessions(data, q, threads, sig);
+      });
+
+  std::string json = "{\n  \"context\": {\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"hardware_concurrency\": %u,\n"
+                  "    \"sessions\": %zu,\n"
+                  "    \"oracle_latency_ms\": %.1f,\n"
+                  "    \"repetitions\": %d\n  },\n",
+                  std::thread::hardware_concurrency(), kNumSessions,
+                  kOracleLatencyMs, kRepetitions);
+    json += buf;
+  }
+  json += "  \"sweeps\": [\n";
+  AppendSweepJson(&json, "cpu_bound_incremental_edit_loop",
+                  "evaluator root-scan fan-out; speedup bounded by physical "
+                  "cores",
+                  cpu, /*last=*/false);
+  AppendSweepJson(&json, "latency_bound_concurrent_sessions",
+                  "independent cleaning sessions over the pool; per-question "
+                  "crowd latency overlaps across workers",
+                  latency, /*last=*/true);
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/invariant.h"
+#include "src/common/thread_pool.h"
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
 #include "src/query/incremental_view.h"
@@ -13,10 +14,22 @@ namespace qoco::cleaning {
 
 common::Result<CleanerStats> QocoCleaner::Run() {
   CleanerStats stats;
-  query::Evaluator evaluator(db_);
+  // One pool for the whole session, shared by evaluation, view
+  // maintenance, and candidate scoring. Skipped entirely (pool == nullptr
+  // → serial everywhere) when the resolved thread count is 1, so
+  // single-threaded runs carry zero scheduling overhead.
+  std::optional<common::ThreadPool> pool_storage;
+  common::ThreadPool* pool = nullptr;
+  if (common::ThreadPool::ResolveNumThreads(config_.num_threads) > 1) {
+    pool_storage.emplace(config_.num_threads);
+    pool = &*pool_storage;
+  }
+  InsertionConfig insertion_config = config_.insertion;
+  insertion_config.pool = pool;
+  query::Evaluator evaluator(db_, pool);
   // Incremental path: pay full-query cost once here, delta cost per edit.
   std::optional<query::IncrementalView> view;
-  if (config_.incremental_eval) view.emplace(q_, db_);
+  if (config_.incremental_eval) view.emplace(q_, db_, pool);
   // The refreshed view after the edits applied so far.
   auto current_answers = [&]() {
     return view.has_value() ? view->result().AnswerTuples()
@@ -82,12 +95,12 @@ common::Result<CleanerStats> QocoCleaner::Run() {
             removal,
             RemoveWrongAnswerFromWitnesses(
                 info != nullptr ? info->witnesses : provenance::WitnessSet{},
-                panel_, config_.deletion_policy, &rng_, config_.trust));
+                panel_, config_.deletion_policy, &rng_, config_.trust, pool));
       } else {
         QOCO_ASSIGN_OR_RETURN(
             removal,
             RemoveWrongAnswer(q_, *db_, t, panel_, config_.deletion_policy,
-                              &rng_, config_.trust));
+                              &rng_, config_.trust, pool));
       }
       if (removal.edits.empty()) {
         // Contradictory crowd verdicts (the answer was judged wrong but
@@ -123,7 +136,7 @@ common::Result<CleanerStats> QocoCleaner::Run() {
       if (!missing.has_value()) continue;
       QOCO_ASSIGN_OR_RETURN(
           InsertResult insertion,
-          AddMissingAnswer(q_, db_, *missing, panel_, config_.insertion,
+          AddMissingAnswer(q_, db_, *missing, panel_, insertion_config,
                            &rng_));
       // Algorithm 2 applies its edits as it goes; replay them into the view.
       sync_view(insertion.edits);

@@ -41,6 +41,13 @@ struct CleanerConfig {
   /// false, every round re-evaluates Q from scratch — the pre-incremental
   /// behavior, kept for A/B verification and ablation.
   bool incremental_eval = true;
+  /// Worker threads for parallel query evaluation and candidate scoring.
+  /// 0 (the default) resolves via ThreadPool::ResolveNumThreads: the
+  /// QOCO_THREADS environment variable if set, else hardware_concurrency.
+  /// 1 forces fully serial execution. Answers, witnesses, questions, and
+  /// edits are bit-identical for every value (the determinism contract in
+  /// DESIGN.md §Parallel evaluation) — only wall-clock time changes.
+  size_t num_threads = 0;
 };
 
 /// Aggregate outcome of a cleaning session.

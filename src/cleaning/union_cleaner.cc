@@ -7,6 +7,7 @@
 #include "src/cleaning/cleaner.h"
 #include "src/common/check.h"
 #include "src/common/invariant.h"
+#include "src/common/thread_pool.h"
 #include "src/crowd/enumeration_estimator.h"
 #include "src/query/evaluator.h"
 #include "src/query/incremental_view.h"
@@ -50,7 +51,7 @@ common::Result<RemoveResult> UnionCleaner::RemoveWrongUnionAnswer(
   if (combined.empty()) return RemoveResult{};
   return RemoveWrongAnswerFromWitnesses(combined, panel_,
                                         config_.deletion_policy, &rng_,
-                                        config_.trust);
+                                        config_.trust, pool_);
 }
 
 common::Result<InsertResult> UnionCleaner::AddMissingUnionAnswer(
@@ -71,9 +72,11 @@ common::Result<InsertResult> UnionCleaner::AddMissingUnionAnswer(
   for (const auto& [vars, index] : order) {
     const query::CQuery& disjunct = q_.disjuncts()[index];
     if (!panel_->VerifyAnswer(disjunct, t)) continue;
+    InsertionConfig insertion_config = config_.insertion;
+    insertion_config.pool = pool_;
     QOCO_ASSIGN_OR_RETURN(
         InsertResult attempt,
-        AddMissingAnswer(disjunct, db_, t, panel_, config_.insertion,
+        AddMissingAnswer(disjunct, db_, t, panel_, insertion_config,
                          &rng_));
     out.edits.insert(out.edits.end(), attempt.edits.begin(),
                      attempt.edits.end());
@@ -89,11 +92,18 @@ common::Result<InsertResult> UnionCleaner::AddMissingUnionAnswer(
 
 common::Result<CleanerStats> UnionCleaner::Run() {
   CleanerStats stats;
-  query::Evaluator evaluator(db_);
+  // One pool for the session (see QocoCleaner::Run for the rationale).
+  std::optional<common::ThreadPool> pool_storage;
+  pool_ = nullptr;  // May be stale after an error return of a prior Run().
+  if (common::ThreadPool::ResolveNumThreads(config_.num_threads) > 1) {
+    pool_storage.emplace(config_.num_threads);
+    pool_ = &*pool_storage;
+  }
+  query::Evaluator evaluator(db_, pool_);
   // Incremental path: one materialized view per disjunct, delta-maintained
   // across every edit of the session (see query::IncrementalUnionView).
   std::optional<query::IncrementalUnionView> view;
-  if (config_.incremental_eval) view.emplace(q_, db_);
+  if (config_.incremental_eval) view.emplace(q_, db_, pool_);
   union_view_ = view.has_value() ? &*view : nullptr;
   auto current_answers = [&]() {
     return view.has_value() ? view->AnswerTuples()
@@ -184,6 +194,7 @@ common::Result<CleanerStats> UnionCleaner::Run() {
   }
 
   union_view_ = nullptr;
+  pool_ = nullptr;  // pool_storage dies with this frame.
   stats.questions = panel_->counts() - baseline;
   return stats;
 }

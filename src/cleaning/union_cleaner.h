@@ -50,6 +50,9 @@ class UnionCleaner {
   /// Set for the duration of Run() on the incremental path so the removal
   /// helper reads cached witnesses instead of re-evaluating disjuncts.
   const query::IncrementalUnionView* union_view_ = nullptr;
+  /// Session pool (see CleanerConfig::num_threads); set for the duration
+  /// of Run(), nullptr otherwise. Not owned by the helpers.
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace qoco::cleaning

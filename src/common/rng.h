@@ -12,10 +12,19 @@ namespace qoco::common {
 ///
 /// All experiments are reproducible given the seed; no call site uses
 /// std::random_device or global state.
+///
+/// An Rng instance is shared *mutable* state and is NOT thread-safe: two
+/// workers drawing from one instance race on the engine and destroy
+/// reproducibility even where the race is benign. Concurrent code must
+/// instead derive one child stream per work item with Child(index) /
+/// ChildSeed(index) — both are const, depend only on (seed, index), and
+/// therefore yield the same per-item stream no matter which worker runs
+/// the item or in what order (unlike Fork(), which advances the parent
+/// engine and is only reproducible from a fixed serial call order).
 class Rng {
  public:
   /// Constructs a generator from a 64-bit seed.
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
   int64_t Uniform(int64_t lo, int64_t hi) {
@@ -51,10 +60,30 @@ class Rng {
   /// experiment cell its own stream.
   Rng Fork() { return Rng(engine_()); }
 
+  /// Seed for the index-th child stream. Pure function of (seed, index):
+  /// does not touch the engine, so concurrent workers may call it freely
+  /// and item i's stream is the same whether the loop runs serially or on
+  /// any number of threads. Mixing is splitmix64, whose outputs are
+  /// pairwise-decorrelated even for adjacent indexes.
+  uint64_t ChildSeed(uint64_t index) const {
+    uint64_t z = seed_ + (index + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Index-addressed child generator (see ChildSeed). The thread-safe,
+  /// order-independent alternative to Fork() for parallel loops.
+  Rng Child(uint64_t index) const { return Rng(ChildSeed(index)); }
+
+  /// Seed this generator was constructed with.
+  uint64_t seed() const { return seed_; }
+
   /// Access to the underlying engine for std distributions.
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

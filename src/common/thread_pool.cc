@@ -1,0 +1,243 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "src/common/invariant.h"
+
+namespace qoco::common {
+
+namespace {
+
+/// ParallelFor splits [0, n) into at most this many chunks per worker:
+/// enough slack for stealing to rebalance skewed iteration costs, coarse
+/// enough that the per-chunk scheduling handshake stays negligible.
+constexpr size_t kChunksPerThread = 4;
+
+/// Set for the duration of WorkerLoop; lets parallel entry points detect
+/// that they are already running on this pool and degrade to inline
+/// execution instead of deadlocking on their own workers.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads_ = ResolveNumThreads(num_threads);
+  if (num_threads_ <= 1) {
+    num_threads_ = 1;
+    return;  // Inline pool: no queues, no workers.
+  }
+  queues_.resize(num_threads_);
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+size_t ThreadPool::ResolveNumThreads(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("QOCO_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0 &&
+        parsed < std::numeric_limits<size_t>::max()) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+bool ThreadPool::Enqueue(size_t target, std::function<void()> task) {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  if (shutdown_ || workers_.empty()) return false;
+  queues_[target % queues_.size()].tasks.push_back(std::move(task));
+  ++pending_;
+  ++submitted_total_;
+  wake_cv_.notify_one();
+  return true;
+}
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "ThreadPool::Submit after Shutdown: the pool no longer accepts "
+          "work");
+    }
+    if (!workers_.empty()) {
+      queues_[next_queue_].tasks.push_back(std::move(task));
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      ++pending_;
+      ++submitted_total_;
+      wake_cv_.notify_one();
+      return Status::OK();
+    }
+    ++submitted_total_;
+  }
+  // Inline pool: run on the caller. The completion is published after the
+  // fact so Wait() and the audit see submitted == completed at quiescence.
+  task();
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  ++completed_total_;
+  done_cv_.notify_all();
+  return Status::OK();
+}
+
+std::function<void()> ThreadPool::PopTaskLocked(size_t self) {
+  // Own deque first, from the front (FIFO for fairness of Submit order)...
+  std::deque<std::function<void()>>& own = queues_[self].tasks;
+  std::function<void()> task;
+  if (!own.empty()) {
+    task = std::move(own.front());
+    own.pop_front();
+  } else {
+    // ...then steal from the back of the first non-empty victim.
+    for (size_t step = 1; step < queues_.size(); ++step) {
+      std::deque<std::function<void()>>& victim =
+          queues_[(self + step) % queues_.size()].tasks;
+      if (victim.empty()) continue;
+      task = std::move(victim.back());
+      victim.pop_back();
+      break;
+    }
+  }
+  if (task) {
+    --pending_;
+    ++running_;
+  }
+  return task;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_worker_pool = this;
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  for (;;) {
+    wake_cv_.wait(lk, [this] { return shutdown_ || pending_ > 0; });
+    if (pending_ == 0) {
+      if (shutdown_) return;  // Drained; exit only once nothing is queued.
+      continue;
+    }
+    std::function<void()> task = PopTaskLocked(self);
+    if (!task) continue;  // Another worker won the race.
+    lk.unlock();
+    task();
+    lk.lock();
+    --running_;
+    ++completed_total_;
+    if (pending_ == 0 && running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  done_cv_.wait(lk, [this] { return pending_ == 0 && running_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    shutdown_ = true;
+    wake_cv_.notify_all();
+  }
+  // workers_ itself is immutable after construction (joined threads stay in
+  // the vector, non-joinable), so unsynchronized emptiness reads elsewhere
+  // are safe; a second Shutdown finds nothing joinable and returns.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  bool inline_run = workers_.empty() || OnWorkerThread();
+  if (!inline_run) {
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    inline_run = shutdown_;
+  }
+  if (inline_run) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const size_t chunks = std::min(n, num_threads_ * kChunksPerThread);
+
+  // Per-call completion latch and first-error slot. The error from the
+  // lowest chunk index wins so the rethrown exception is deterministic.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+    std::exception_ptr first_error;
+    size_t first_error_chunk;
+  } state;
+  state.remaining = chunks;
+  state.first_error_chunk = std::numeric_limits<size_t>::max();
+
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    auto chunk_task = [&state, &body, begin, end, c] {
+      try {
+        for (size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lk(state.mu);
+        if (c < state.first_error_chunk) {
+          state.first_error_chunk = c;
+          state.first_error = std::current_exception();
+        }
+      }
+      std::unique_lock<std::mutex> lk(state.mu);
+      if (--state.remaining == 0) state.done.notify_all();
+    };
+    if (!Enqueue(c % num_threads_, chunk_task)) {
+      chunk_task();  // Shutdown raced in: run the chunk on the caller.
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(state.mu);
+  state.done.wait(lk, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+Status ThreadPool::AuditInvariants() const {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  InvariantAuditor audit("common::ThreadPool");
+
+  size_t queued = 0;
+  for (const WorkerQueue& q : queues_) queued += q.tasks.size();
+  if (queued != pending_) {
+    audit.Violation() << "pending counter is " << pending_ << " but queues "
+                      << "hold " << queued << " task(s)";
+  }
+  if (completed_total_ + running_ + pending_ != submitted_total_) {
+    audit.Violation() << "task accounting leaks: submitted="
+                      << submitted_total_ << " != completed="
+                      << completed_total_ << " + running=" << running_
+                      << " + pending=" << pending_;
+  }
+  if (running_ > workers_.size()) {
+    audit.Violation() << running_ << " task(s) marked running on "
+                      << workers_.size() << " worker(s)";
+  }
+  if (shutdown_ && pending_ != 0) {
+    audit.Violation() << "shut-down pool still holds " << pending_
+                      << " queued task(s)";
+  }
+  if (workers_.empty() && !shutdown_ && pending_ != 0) {
+    audit.Violation() << "inline pool reports " << pending_
+                      << " pending task(s)";
+  }
+  return audit.Finish();
+}
+
+}  // namespace qoco::common

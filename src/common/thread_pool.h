@@ -1,0 +1,158 @@
+#ifndef QOCO_COMMON_THREAD_POOL_H_
+#define QOCO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace qoco::common {
+
+/// Fixed-size work-stealing thread pool behind every parallel hot path
+/// (query evaluation, hitting-set candidate scoring, the benchmark sweep).
+///
+/// Design contract, in decreasing order of importance:
+///
+///  1. **Determinism of results.** The pool never decides *what* a parallel
+///     computation produces, only *when* each piece runs. ParallelFor hands
+///     out index ranges; callers collect into per-index (or per-chunk)
+///     slots, so the assembled result is identical to a serial loop
+///     regardless of thread count, stealing order, or chunking. The serial
+///     fallback (single-thread pools, nested calls) is literally a for
+///     loop.
+///  2. **Graceful degradation.** A pool built with `num_threads <= 1` (or
+///     when hardware_concurrency is unknown and nothing overrides it)
+///     spawns no worker threads at all: Submit and ParallelFor run inline
+///     on the caller. Code written against the pool never needs a separate
+///     serial code path.
+///  3. **Work stealing.** Each worker owns a deque; Submit round-robins
+///     tasks across deques; a worker pops its own deque from the front and,
+///     when empty, steals from the back of a victim's. A long-running task
+///     therefore never strands the work queued behind it.
+///
+/// Nested ParallelFor from inside a worker runs inline on that worker
+/// (deterministic and deadlock-free by construction). Exceptions thrown by
+/// ParallelFor bodies are captured and the one from the lowest chunk index
+/// is rethrown on the calling thread once every chunk finished — also a
+/// deterministic choice. Submitted (fire-and-forget) tasks must not throw;
+/// ParallelFor is the exception-safe surface.
+///
+/// Thread safety: Submit/ParallelFor/Wait may be called from any thread,
+/// including concurrently. Shutdown drains queued work, joins the workers
+/// and is idempotent; Submit afterwards is rejected with FailedPrecondition.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` resolves via ResolveNumThreads (QOCO_THREADS env
+  /// var, else hardware_concurrency, else 1). `num_threads <= 1` builds an
+  /// inline pool with no worker threads.
+  explicit ThreadPool(size_t num_threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Worker count this pool schedules onto (1 for an inline pool).
+  size_t num_threads() const { return num_threads_; }
+
+  /// True iff the calling thread is one of this pool's workers. Parallel
+  /// entry points use this to fall back to inline execution instead of
+  /// deadlocking on (or re-warming shared state under) their own pool.
+  bool OnWorkerThread() const;
+
+  /// Enqueues a fire-and-forget task. On an inline pool the task runs
+  /// before Submit returns. Rejected with FailedPrecondition once Shutdown
+  /// has begun. Tasks must not throw.
+  Status Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Drains outstanding tasks, joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Invokes `body(i)` for every i in [0, n), partitioned into contiguous
+  /// chunks executed across the workers (the calling thread blocks until
+  /// all chunks finished). Chunks are contiguous and ascending, so a caller
+  /// writing into slot i — or concatenating per-chunk buffers in chunk
+  /// order — reproduces the serial iteration order exactly. Runs inline
+  /// when the pool is inline, when called from a worker of this pool
+  /// (nesting), or after Shutdown.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Deterministic-order map: returns {fn(0), ..., fn(n-1)} with each call
+  /// placed at its own index, independent of execution order. T must be
+  /// default-constructible; distinct vector slots are written by distinct
+  /// workers (safe — do not instantiate with std::vector<bool>).
+  template <typename T>
+  std::vector<T> ParallelMap(size_t n, const std::function<T(size_t)>& fn) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Deep audit of the pool's scheduling accounting: queued + running +
+  /// completed tasks must add up to submitted tasks, no queue may hold work
+  /// after shutdown, and an inline pool must have nothing queued. Takes
+  /// every queue lock (the pool may be concurrently active). Returns OK or
+  /// kInternal listing every violation.
+  Status AuditInvariants() const;
+
+  /// Resolves a requested thread count: `requested > 0` wins; otherwise the
+  /// QOCO_THREADS environment variable (positive integer) if set and
+  /// parseable; otherwise std::thread::hardware_concurrency(); never 0.
+  static size_t ResolveNumThreads(size_t requested);
+
+ private:
+  // Test-only backdoor used by the corruption-injection tests to simulate
+  // the effect of a torn/lost counter update (tests/thread_pool_test.cc).
+  friend struct ThreadPoolCorruptor;
+
+  /// One worker's deque. Own work is popped from the front; thieves take
+  /// from the back, so a victim and its thief touch opposite ends. All
+  /// queue access happens under wake_mu_: ParallelFor chunks are coarse
+  /// (milliseconds of work per pop), so what stealing buys here is the
+  /// scheduling *discipline* — a long task never strands the work queued
+  /// behind it — not lock sharding; one mutex keeps the sleep/wake and
+  /// accounting protocol free of lost-notify windows by construction.
+  struct WorkerQueue {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Enqueues onto worker queue `target` and publishes one unit of pending
+  /// work. Returns false when the pool is shut down or inline.
+  bool Enqueue(size_t target, std::function<void()> task);
+
+  /// Pops own front / steals a victim's back and moves the unit from
+  /// pending to running. Caller holds wake_mu_. Returns an empty function
+  /// when every queue is empty.
+  std::function<void()> PopTaskLocked(size_t self);
+
+  void WorkerLoop(size_t self);
+
+  size_t num_threads_ = 1;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;  // Submit round-robin cursor (under wake_mu_).
+
+  /// Scheduling state shared by producers and workers. `pending_` counts
+  /// tasks sitting in queues, `running_` tasks popped but not finished;
+  /// everything below is guarded by wake_mu_.
+  mutable std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  // workers: work available / shutdown
+  std::condition_variable done_cv_;  // Wait(): everything drained
+  size_t pending_ = 0;
+  size_t running_ = 0;
+  uint64_t submitted_total_ = 0;
+  uint64_t completed_total_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace qoco::common
+
+#endif  // QOCO_COMMON_THREAD_POOL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/thread_pool.h"
+
 namespace qoco::query {
 
 namespace {
@@ -27,6 +29,65 @@ class Search {
   void Run() {
     if (!InequalitiesHold()) return;
     Recurse(q_.atoms().size());
+  }
+
+  /// What the first expansion level of Run() would do: the atom picked for
+  /// the root of the join tree and the candidate rows it would iterate, in
+  /// the exact order the serial search visits them. Lets a parallel driver
+  /// partition the root scan into contiguous ranges whose outputs, appended
+  /// in range order, reproduce Run()'s output byte for byte.
+  struct RootPlan {
+    bool infeasible = false;   // An inequality already fails: no results.
+    bool trivial = false;      // No atoms: the binding itself is the result.
+    size_t atom = 0;           // Root atom index into q.atoms().
+    bool use_posting = false;  // Iterate `posting` vs. the full row scan.
+    std::vector<uint32_t> posting;
+    size_t num_rows = 0;
+
+    size_t Candidates() const {
+      return use_posting ? posting.size() : num_rows;
+    }
+  };
+
+  RootPlan PlanRoot() {
+    RootPlan plan;
+    if (!InequalitiesHold()) {
+      plan.infeasible = true;
+      return plan;
+    }
+    if (q_.atoms().size() == 0) {
+      plan.trivial = true;
+      return plan;
+    }
+    AtomScore score;
+    plan.atom = PickBestAtom(&score);
+    const Relation& rel = db_.relation(q_.atoms()[plan.atom].relation);
+    if (score.probe_column != static_cast<size_t>(-1)) {
+      plan.use_posting = true;
+      plan.posting = rel.RowsWithValue(score.probe_column, score.probe_value);
+    } else {
+      plan.num_rows = rel.rows().size();
+    }
+    return plan;
+  }
+
+  /// Expands the plan's root atom over candidate rows [begin, end) only,
+  /// recursing below the root exactly as Run() does. Precondition: the plan
+  /// came from PlanRoot() on an identically-constructed Search (same query,
+  /// database state, and binding) and is neither infeasible nor trivial.
+  void RunRootRange(const RootPlan& plan, size_t begin, size_t end) {
+    const Atom& atom = q_.atoms()[plan.atom];
+    const Relation& rel = db_.relation(atom.relation);
+    atom_done_[plan.atom] = true;
+    // TryRow's `remaining` counts the atom being expanded (it recurses with
+    // remaining - 1), exactly as Recurse passes it.
+    const size_t remaining = q_.atoms().size();
+    for (size_t i = begin; i < end && !Done(); ++i) {
+      const Tuple& row = plan.use_posting ? rel.rows()[plan.posting[i]]
+                                          : rel.rows()[i];
+      TryRow(atom, row, remaining);
+    }
+    atom_done_[plan.atom] = false;
   }
 
  private:
@@ -70,44 +131,54 @@ class Search {
     return score;
   }
 
-  void Recurse(size_t remaining) {
-    if (Done()) return;
-    if (remaining == 0) {
-      out_->push_back(binding_);
-      return;
-    }
-    // Pick the most constrained pending atom.
+  /// The most constrained pending atom: most bound positions, then fewest
+  /// candidates. Shared by Recurse and PlanRoot so the parallel root split
+  /// expands the very atom the serial search would. Precondition: at least
+  /// one atom is pending.
+  size_t PickBestAtom(AtomScore* best_score) const {
     size_t best = static_cast<size_t>(-1);
-    AtomScore best_score;
     for (size_t i = 0; i < atom_done_.size(); ++i) {
       if (atom_done_[i]) continue;
       AtomScore score = ScoreAtom(i);
       bool better;
       if (best == static_cast<size_t>(-1)) {
         better = true;
-      } else if (score.bound_positions != best_score.bound_positions) {
-        better = score.bound_positions > best_score.bound_positions;
+      } else if (score.bound_positions != best_score->bound_positions) {
+        better = score.bound_positions > best_score->bound_positions;
       } else {
-        better = score.candidates < best_score.candidates;
+        better = score.candidates < best_score->candidates;
       }
       if (better) {
         best = i;
-        best_score = score;
+        *best_score = score;
       }
     }
+    return best;
+  }
+
+  /// Unifies `row` against `atom` and recurses on success; always restores
+  /// the binding before returning.
+  void TryRow(const Atom& atom, const Tuple& row, size_t remaining) {
+    if (Done()) return;
+    std::vector<VarId> newly_bound;
+    if (Unify(atom, row, &newly_bound)) {
+      if (InequalitiesHold()) Recurse(remaining - 1);
+    }
+    for (VarId v : newly_bound) binding_.Unbind(v);
+  }
+
+  void Recurse(size_t remaining) {
+    if (Done()) return;
+    if (remaining == 0) {
+      out_->push_back(binding_);
+      return;
+    }
+    AtomScore best_score;
+    size_t best = PickBestAtom(&best_score);
 
     const Atom& atom = q_.atoms()[best];
     const Relation& rel = db_.relation(atom.relation);
     atom_done_[best] = true;
-
-    auto try_row = [&](const Tuple& row) {
-      if (Done()) return;
-      std::vector<VarId> newly_bound;
-      if (Unify(atom, row, &newly_bound)) {
-        if (InequalitiesHold()) Recurse(remaining - 1);
-      }
-      for (VarId v : newly_bound) binding_.Unbind(v);
-    };
 
     if (best_score.probe_column != static_cast<size_t>(-1)) {
       // Index probe on the most selective bound column. The posting list
@@ -116,12 +187,12 @@ class Search {
       const std::vector<uint32_t>& positions =
           rel.RowsWithValue(best_score.probe_column, best_score.probe_value);
       for (uint32_t pos : positions) {
-        try_row(rel.rows()[pos]);
+        TryRow(atom, rel.rows()[pos], remaining);
         if (Done()) break;
       }
     } else {
       for (const Tuple& row : rel.rows()) {
-        try_row(row);
+        TryRow(atom, row, remaining);
         if (Done()) break;
       }
     }
@@ -255,6 +326,17 @@ EvalResult Evaluator::Evaluate(const UnionQuery& q) const {
   return merged;
 }
 
+namespace {
+
+/// Root scans shorter than this are not worth the fan-out handshake.
+constexpr size_t kMinRootCandidatesForParallel = 8;
+
+/// Chunks per worker for the root-scan split: slack for stealing to absorb
+/// skewed per-candidate subtree sizes.
+constexpr size_t kRootChunksPerThread = 4;
+
+}  // namespace
+
 std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
                                                   const Assignment& partial,
                                                   size_t limit) const {
@@ -266,6 +348,49 @@ std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
     widened.MergeFrom(partial);
     binding = std::move(widened);
   }
+
+  // Parallel root-scan split. Only for unlimited searches: a limited search
+  // (IsSatisfiable and friends) stops at the first few hits, where fan-out
+  // both wastes work and — worse — would make *which* extensions are found
+  // scheduling-dependent. Nested calls (already on a worker of the pool)
+  // run serially inline: the outer split is the parallelism.
+  if (pool_ != nullptr && limit == 0 && pool_->num_threads() > 1 &&
+      !pool_->OnWorkerThread()) {
+    Search planner(q, *db_, binding, /*limit=*/0, &out);
+    Search::RootPlan plan = planner.PlanRoot();
+    if (plan.infeasible) return out;
+    if (plan.trivial) {
+      out.push_back(std::move(binding));
+      return out;
+    }
+    const size_t n = plan.Candidates();
+    if (n >= kMinRootCandidatesForParallel) {
+      // Workers probe const lazily-built indexes concurrently; build every
+      // index from this thread first so no worker races a cold build.
+      db_->WarmIndexes();
+      const size_t chunks =
+          std::min(n, pool_->num_threads() * kRootChunksPerThread);
+      std::vector<std::vector<Assignment>> parts(chunks);
+      pool_->ParallelFor(chunks, [&](size_t c) {
+        const size_t begin = n * c / chunks;
+        const size_t end = n * (c + 1) / chunks;
+        std::vector<Assignment> part;
+        Search shard(q, *db_, binding, /*limit=*/0, &part);
+        shard.RunRootRange(plan, begin, end);
+        parts[c] = std::move(part);
+      });
+      // Appending the contiguous ascending ranges in chunk order is exactly
+      // the serial iteration order: bit-identical output by construction.
+      size_t total = 0;
+      for (const std::vector<Assignment>& p : parts) total += p.size();
+      out.reserve(total);
+      for (std::vector<Assignment>& p : parts) {
+        for (Assignment& a : p) out.push_back(std::move(a));
+      }
+      return out;
+    }
+  }
+
   Search search(q, *db_, std::move(binding), limit, &out);
   search.Run();
   return out;

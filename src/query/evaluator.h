@@ -8,6 +8,10 @@
 #include "src/query/query.h"
 #include "src/relational/database.h"
 
+namespace qoco::common {
+class ThreadPool;
+}  // namespace qoco::common
+
 namespace qoco::query {
 
 /// One answer tuple together with its valid assignments A(t, Q, D) and its
@@ -70,7 +74,18 @@ class Evaluator {
  public:
   /// The database must outlive the evaluator. The evaluator always reads
   /// the database's *current* state, so it can be reused across edits.
-  explicit Evaluator(const relational::Database* db) : db_(db) {}
+  /// With a non-null `pool`, unlimited FindExtensions calls (and everything
+  /// built on them: Evaluate, IncrementalView refreshes) partition the
+  /// outer candidate scan of the most constrained atom across the pool's
+  /// workers; results are bit-identical to serial evaluation — see the
+  /// determinism contract in DESIGN.md §Parallel evaluation.
+  explicit Evaluator(const relational::Database* db,
+                     common::ThreadPool* pool = nullptr)
+      : db_(db), pool_(pool) {}
+
+  /// Swaps the pool used for subsequent evaluations (nullptr = serial).
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
+  common::ThreadPool* pool() const { return pool_; }
 
   /// Full evaluation of Q with provenance (assignments + witnesses).
   EvalResult Evaluate(const CQuery& q) const;
@@ -99,6 +114,7 @@ class Evaluator {
 
  private:
   const relational::Database* db_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace qoco::query

@@ -45,8 +45,9 @@ bool AssignmentUsesFact(const CQuery& q, const Assignment& a,
 
 }  // namespace
 
-IncrementalView::IncrementalView(CQuery q, const relational::Database* db)
-    : q_(std::move(q)), db_(db), evaluator_(db) {
+IncrementalView::IncrementalView(CQuery q, const relational::Database* db,
+                                 common::ThreadPool* pool)
+    : q_(std::move(q)), db_(db), evaluator_(db, pool) {
   Refresh();
   stats_ = Stats{};
   stats_.full_evals = 1;
@@ -220,10 +221,11 @@ common::Status IncrementalView::AuditInvariants() const {
 }
 
 IncrementalUnionView::IncrementalUnionView(const UnionQuery& q,
-                                           const relational::Database* db) {
+                                           const relational::Database* db,
+                                           common::ThreadPool* pool) {
   views_.reserve(q.disjuncts().size());
   for (const CQuery& disjunct : q.disjuncts()) {
-    views_.emplace_back(disjunct, db);
+    views_.emplace_back(disjunct, db, pool);
   }
 }
 

@@ -40,7 +40,15 @@ namespace qoco::query {
 class IncrementalView {
  public:
   /// Evaluates Q(D) once. `db` must outlive the view; the query is copied.
-  IncrementalView(CQuery q, const relational::Database* db);
+  /// An optional thread pool parallelizes the full evaluations and the
+  /// per-delta extension searches (see Evaluator); results are identical to
+  /// serial maintenance for any pool, so the pool may even change between
+  /// notifications.
+  IncrementalView(CQuery q, const relational::Database* db,
+                  common::ThreadPool* pool = nullptr);
+
+  /// Swaps the pool used for subsequent maintenance (nullptr = serial).
+  void set_pool(common::ThreadPool* pool) { evaluator_.set_pool(pool); }
 
   const CQuery& query() const { return q_; }
 
@@ -95,7 +103,13 @@ class IncrementalView {
 /// witness sets across disjuncts for the shared hitting-set instance.
 class IncrementalUnionView {
  public:
-  IncrementalUnionView(const UnionQuery& q, const relational::Database* db);
+  IncrementalUnionView(const UnionQuery& q, const relational::Database* db,
+                       common::ThreadPool* pool = nullptr);
+
+  /// Swaps the pool on every disjunct view (nullptr = serial).
+  void set_pool(common::ThreadPool* pool) {
+    for (IncrementalView& v : views_) v.set_pool(pool);
+  }
 
   /// Distinct answers of the union, sorted.
   std::vector<relational::Tuple> AnswerTuples() const;

@@ -73,6 +73,10 @@ void Relation::RepointPosting(size_t column, const Value& v, uint32_t from,
   *slot = to;
 }
 
+void Relation::WarmIndexes() const {
+  for (size_t col = 0; col < arity_; ++col) EnsureIndex(col);
+}
+
 void Relation::EnsureIndex(size_t column) const {
   if (index_valid_[column]) return;
   auto& index = column_index_[column];

@@ -68,6 +68,15 @@ class Relation {
   /// Distinct values appearing in `column`.
   std::vector<Value> ColumnDomain(size_t column) const;
 
+  /// Builds every per-column index that is not built yet. RowsWithValue and
+  /// CountRowsWithValue build indexes lazily on first probe, which mutates
+  /// `mutable` state under a const call — fine single-threaded, a data race
+  /// once concurrent readers probe the same cold column. Parallel
+  /// evaluation therefore warms all indexes from the coordinating thread
+  /// before fanning out; afterwards concurrent const probes touch only
+  /// immutable-between-mutations state.
+  void WarmIndexes() const;
+
   /// Deep audit of every class invariant: membership round-trips through
   /// the row store, every built posting list entry matches its row (no
   /// stale positions left behind by the swap-remove maintenance), no

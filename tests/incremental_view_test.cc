@@ -4,7 +4,10 @@
 // over the soccer and dbgroup workloads asserting the maintained view
 // matches a from-scratch Evaluator::Evaluate after every edit, and an A/B
 // check that the incremental and full-reevaluation cleaner paths repair a
-// planted view to the same result.
+// planted view to the same result. The fuzz additionally re-randomizes the
+// view's thread pool (serial / 2 / 8 workers) before every step: delta
+// maintenance must produce the same view no matter which pool — if any —
+// performs each refresh.
 
 #include "src/query/incremental_view.h"
 
@@ -17,6 +20,7 @@
 
 #include "src/cleaning/cleaner.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/crowd/crowd_panel.h"
 #include "src/crowd/simulated_oracle.h"
 #include "src/query/evaluator.h"
@@ -198,9 +202,12 @@ TEST_F(IncrementalViewTest, UnionViewMergesAndCombinesWitnesses) {
 /// reference database has and `db` lacks, or fabricate one by perturbing a
 /// column of an existing row with a value from the reference column domain.
 /// (`performed` is an out-param because gtest ASSERTs need a void return.)
+/// `pools` (possibly containing nullptr = serial) is sampled before every
+/// step so each delta refresh runs under a randomly chosen thread count.
 void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
-               size_t steps, common::Rng* rng, size_t* performed) {
-  Evaluator evaluator(db);
+               size_t steps, common::Rng* rng, size_t* performed,
+               const std::vector<common::ThreadPool*>& pools = {}) {
+  Evaluator evaluator(db);  // Serial reference evaluation.
   IncrementalView view(q, db);
   ExpectSameResult(view.result(), evaluator.Evaluate(q), "initial");
 
@@ -212,6 +219,7 @@ void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
   }
   std::vector<Fact> erased_pool;
   for (size_t step = 0; step < steps; ++step) {
+    if (!pools.empty()) view.set_pool(pools[rng->Index(pools.size())]);
     relational::RelationId rel = rels[rng->Index(rels.size())];
     const relational::Relation& instance = db->relation(rel);
     bool do_erase = !instance.empty() && rng->Chance(0.5);
@@ -264,6 +272,9 @@ TEST(IncrementalViewFuzzTest, MatchesFullEvaluationOnSoccer) {
   auto data = workload::MakeSoccerData(params);
   ASSERT_TRUE(data.ok());
   common::Rng rng(2026);
+  common::ThreadPool pool2(2);
+  common::ThreadPool pool8(8);
+  std::vector<common::ThreadPool*> pools = {nullptr, &pool2, &pool8};
   size_t total = 0;
   for (size_t qi = 1; qi <= 5; ++qi) {
     auto q = workload::SoccerQuery(qi, *data->catalog);
@@ -273,7 +284,7 @@ TEST(IncrementalViewFuzzTest, MatchesFullEvaluationOnSoccer) {
     auto dirty = workload::MakeDirty(*data->ground_truth, noise);
     ASSERT_TRUE(dirty.ok());
     Database db = std::move(dirty).value();
-    FuzzQuery(*q, &db, *data->ground_truth, 150, &rng, &total);
+    FuzzQuery(*q, &db, *data->ground_truth, 150, &rng, &total, pools);
     if (::testing::Test::HasFatalFailure()) return;
   }
   EXPECT_GE(total, 600u);
@@ -283,11 +294,14 @@ TEST(IncrementalViewFuzzTest, MatchesFullEvaluationOnDbGroup) {
   auto data = workload::MakeDbGroupData(workload::DbGroupParams{});
   ASSERT_TRUE(data.ok());
   common::Rng rng(77);
+  common::ThreadPool pool2(2);
+  common::ThreadPool pool8(8);
+  std::vector<common::ThreadPool*> pools = {nullptr, &pool2, &pool8};
   size_t total = 0;
   for (size_t qi = 0; qi < data->report_queries.size(); ++qi) {
     Database db = *data->dirty;
     FuzzQuery(data->report_queries[qi], &db, *data->ground_truth, 130, &rng,
-              &total);
+              &total, pools);
     if (::testing::Test::HasFatalFailure()) return;
   }
   EXPECT_GE(total, 400u);

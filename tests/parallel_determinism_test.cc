@@ -1,0 +1,331 @@
+// Determinism equivalence suite for the parallel evaluation engine: for
+// every workload (figure-one, dbgroup, soccer) the answers, witness lists,
+// assignment lists, crowd question counts, and final edit sequences of a
+// cleaning session must be *identical* — same values, same order — for
+// num_threads ∈ {1, 2, 8}. This is the contract that makes parallelism an
+// invisible performance knob (DESIGN.md §Parallel evaluation); any
+// scheduling-dependent divergence is a bug, not a tolerance.
+//
+// Also pins the Rng::Child index-addressed stream derivation: children are
+// pure functions of (seed, index) — order-independent and side-effect-free
+// on the parent — so per-item randomness (e.g. imperfect-oracle noise)
+// reproduces exactly between serial and parallel runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cleaning/cleaner.h"
+#include "src/cleaning/union_cleaner.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/crowd/crowd_panel.h"
+#include "src/crowd/imperfect_oracle.h"
+#include "src/crowd/simulated_oracle.h"
+#include "src/query/evaluator.h"
+#include "src/query/parser.h"
+#include "src/workload/dbgroup.h"
+#include "src/workload/figure_one.h"
+#include "src/workload/noise.h"
+#include "src/workload/soccer.h"
+
+namespace qoco {
+namespace {
+
+using cleaning::CleanerConfig;
+using cleaning::QocoCleaner;
+using query::AnswerInfo;
+using query::EvalResult;
+using relational::Database;
+using relational::Tuple;
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+/// Order-sensitive equality of two evaluation results: answers, witness
+/// lists, and assignment lists must match element by element. Stricter
+/// than set equality on purpose — the parallel merge contract is
+/// bit-identical output, not merely equivalent output.
+void ExpectIdenticalResults(const EvalResult& got, const EvalResult& want,
+                            const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < want.answers().size(); ++i) {
+    const AnswerInfo& g = got.answers()[i];
+    const AnswerInfo& w = want.answers()[i];
+    ASSERT_EQ(g.tuple, w.tuple) << context << " answer " << i;
+    ASSERT_TRUE(g.witnesses == w.witnesses)
+        << context << ": witness list differs (values or order) for "
+        << relational::TupleToString(g.tuple);
+    ASSERT_TRUE(g.assignments == w.assignments)
+        << context << ": assignment list differs (values or order) for "
+        << relational::TupleToString(g.tuple);
+  }
+}
+
+/// Evaluates `q` serially and under pools of every thread count; all runs
+/// must produce identical results.
+void ExpectEvaluationInvariantUnderThreads(const query::CQuery& q,
+                                           const Database& db,
+                                           const std::string& context) {
+  query::Evaluator serial(&db);
+  EvalResult want = serial.Evaluate(q);
+  for (size_t threads : kThreadCounts) {
+    common::ThreadPool pool(threads);
+    query::Evaluator parallel(&db, &pool);
+    ExpectIdenticalResults(parallel.Evaluate(q), want,
+                           context + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelEvaluationDeterminism, FigureOneQueries) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  for (const Database* db : {sample->dirty.get(), sample->ground_truth.get()}) {
+    ExpectEvaluationInvariantUnderThreads(sample->q1, *db, "fig1 q1");
+    ExpectEvaluationInvariantUnderThreads(sample->q2, *db, "fig1 q2");
+  }
+}
+
+TEST(ParallelEvaluationDeterminism, DbGroupReportQueries) {
+  auto data = workload::MakeDbGroupData(workload::DbGroupParams{});
+  ASSERT_TRUE(data.ok());
+  for (size_t qi = 0; qi < data->report_queries.size(); ++qi) {
+    ExpectEvaluationInvariantUnderThreads(
+        data->report_queries[qi], *data->dirty,
+        "dbgroup q" + std::to_string(qi));
+  }
+}
+
+TEST(ParallelEvaluationDeterminism, SoccerQueriesOnDirtyData) {
+  workload::SoccerParams params;
+  params.num_tournaments = 8;
+  params.teams_per_tournament = 10;
+  params.group_games_per_tournament = 8;
+  params.players_per_team = 6;
+  auto data = workload::MakeSoccerData(params);
+  ASSERT_TRUE(data.ok());
+  for (size_t qi = 1; qi <= 5; ++qi) {
+    auto q = workload::SoccerQuery(qi, *data->catalog);
+    ASSERT_TRUE(q.ok());
+    workload::NoiseParams noise;
+    noise.seed = 40 + qi;
+    auto dirty = workload::MakeDirty(*data->ground_truth, noise);
+    ASSERT_TRUE(dirty.ok());
+    ExpectEvaluationInvariantUnderThreads(*q, *dirty,
+                                          "soccer q" + std::to_string(qi));
+  }
+}
+
+/// The observable transcript of one cleaning session, captured for exact
+/// cross-thread-count comparison.
+struct SessionTranscript {
+  cleaning::EditList edits;
+  std::string questions;  // crowd::ToString(QuestionCounts)
+  std::vector<Tuple> final_answers;
+  std::vector<relational::Fact> final_facts;
+};
+
+/// Runs a QocoCleaner session with the given thread count over a fresh
+/// copy of `dirty` and a freshly seeded oracle/panel/rng, so the only
+/// degree of freedom between calls is `num_threads`.
+SessionTranscript RunSession(const query::CQuery& q, const Database& dirty,
+                             const Database& ground_truth, size_t num_threads,
+                             cleaning::DeletionPolicy policy,
+                             double oracle_error_rate) {
+  Database db = dirty;
+  crowd::SimulatedOracle perfect(&ground_truth);
+  crowd::ImperfectOracle imperfect(&ground_truth, oracle_error_rate,
+                                   /*seed=*/4242);
+  crowd::Oracle* member = oracle_error_rate > 0
+                              ? static_cast<crowd::Oracle*>(&imperfect)
+                              : static_cast<crowd::Oracle*>(&perfect);
+  crowd::CrowdPanel panel({member}, crowd::PanelConfig{1});
+  CleanerConfig config;
+  config.deletion_policy = policy;
+  config.num_threads = num_threads;
+  QocoCleaner cleaner(q, &db, &panel, config, common::Rng(11));
+  auto stats = cleaner.Run();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+
+  SessionTranscript transcript;
+  if (stats.ok()) {
+    transcript.edits = stats->edits;
+    transcript.questions = crowd::ToString(stats->questions);
+  }
+  query::Evaluator eval(&db);
+  transcript.final_answers = eval.Evaluate(q).AnswerTuples();
+  transcript.final_facts = db.AllFacts();
+  return transcript;
+}
+
+void ExpectIdenticalSessions(const query::CQuery& q, const Database& dirty,
+                             const Database& ground_truth,
+                             cleaning::DeletionPolicy policy,
+                             double oracle_error_rate,
+                             const std::string& context) {
+  SessionTranscript want =
+      RunSession(q, dirty, ground_truth, 1, policy, oracle_error_rate);
+  for (size_t threads : kThreadCounts) {
+    SessionTranscript got =
+        RunSession(q, dirty, ground_truth, threads, policy, oracle_error_rate);
+    const std::string label = context + " threads=" + std::to_string(threads);
+    // Same edits in the same order: the session took the same decisions.
+    ASSERT_EQ(got.edits.size(), want.edits.size()) << label;
+    for (size_t i = 0; i < want.edits.size(); ++i) {
+      ASSERT_TRUE(got.edits[i] == want.edits[i])
+          << label << ": edit " << i << " differs";
+    }
+    // Same crowd bill, same final database, same final view.
+    EXPECT_EQ(got.questions, want.questions) << label;
+    EXPECT_EQ(got.final_answers, want.final_answers) << label;
+    ASSERT_EQ(got.final_facts.size(), want.final_facts.size()) << label;
+    for (size_t i = 0; i < want.final_facts.size(); ++i) {
+      ASSERT_TRUE(got.final_facts[i].relation == want.final_facts[i].relation &&
+                  got.final_facts[i].tuple == want.final_facts[i].tuple)
+          << label << ": fact " << i << " differs";
+    }
+  }
+}
+
+TEST(ParallelCleaningDeterminism, FigureOneSessions) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  ExpectIdenticalSessions(sample->q1, *sample->dirty, *sample->ground_truth,
+                          cleaning::DeletionPolicy::kQoco, 0.0, "fig1 q1");
+  ExpectIdenticalSessions(sample->q2, *sample->dirty, *sample->ground_truth,
+                          cleaning::DeletionPolicy::kQoco, 0.0, "fig1 q2");
+  // The responsibility policy exercises the parallel candidate scoring.
+  ExpectIdenticalSessions(sample->q1, *sample->dirty, *sample->ground_truth,
+                          cleaning::DeletionPolicy::kResponsibility, 0.0,
+                          "fig1 q1 responsibility");
+}
+
+TEST(ParallelCleaningDeterminism, DbGroupSessions) {
+  auto data = workload::MakeDbGroupData(workload::DbGroupParams{});
+  ASSERT_TRUE(data.ok());
+  for (size_t qi = 0; qi < data->report_queries.size(); ++qi) {
+    ExpectIdenticalSessions(data->report_queries[qi], *data->dirty,
+                            *data->ground_truth,
+                            cleaning::DeletionPolicy::kQoco, 0.0,
+                            "dbgroup q" + std::to_string(qi));
+  }
+}
+
+TEST(ParallelCleaningDeterminism, SoccerSessionWithPlantedErrors) {
+  workload::SoccerParams params;
+  params.num_tournaments = 8;
+  params.teams_per_tournament = 10;
+  auto data = workload::MakeSoccerData(params);
+  ASSERT_TRUE(data.ok());
+  auto q = workload::SoccerQuery(3, *data->catalog);
+  ASSERT_TRUE(q.ok());
+  auto planted =
+      workload::PlantErrors(*q, *data->ground_truth, 2, 2, /*seed=*/9);
+  ASSERT_TRUE(planted.ok());
+  ExpectIdenticalSessions(*q, planted->db, *data->ground_truth,
+                          cleaning::DeletionPolicy::kQoco, 0.0, "soccer q3");
+  ExpectIdenticalSessions(*q, planted->db, *data->ground_truth,
+                          cleaning::DeletionPolicy::kResponsibility, 0.0,
+                          "soccer q3 responsibility");
+}
+
+TEST(ParallelCleaningDeterminism, ImperfectOracleAnswerSequenceIsPinned) {
+  // Regression for the shared-rng hazard: the imperfect oracle draws from
+  // its own seeded rng on every question, so the question *sequence* —
+  // hence the noise realization, hence every downstream decision — must be
+  // identical between a serial and a parallel session. If any worker ever
+  // consumed oracle or cleaner randomness, this transcript comparison
+  // would diverge.
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  ExpectIdenticalSessions(sample->q1, *sample->dirty, *sample->ground_truth,
+                          cleaning::DeletionPolicy::kQoco, 0.2,
+                          "fig1 q1 imperfect");
+  ExpectIdenticalSessions(sample->q2, *sample->dirty, *sample->ground_truth,
+                          cleaning::DeletionPolicy::kResponsibility, 0.1,
+                          "fig1 q2 imperfect");
+}
+
+TEST(ParallelCleaningDeterminism, UnionSessionsMatchAcrossThreadCounts) {
+  auto sample = workload::MakeFigureOneSample();
+  ASSERT_TRUE(sample.ok());
+  auto u = query::ParseUnionQuery(
+      "(x) :- Games(d1, x, y, 'Final', u1), Games(d2, x, z, 'Final', u2), "
+      "Teams(x, 'EU'), d1 != d2;"
+      "(x) :- Games(d1, x, y, 'Final', u1), Games(d2, x, z, 'Final', u2), "
+      "Teams(x, 'SA'), d1 != d2.",
+      *sample->catalog);
+  ASSERT_TRUE(u.ok());
+
+  auto run = [&](size_t threads) {
+    Database db = *sample->dirty;
+    crowd::SimulatedOracle oracle(sample->ground_truth.get());
+    crowd::CrowdPanel panel({&oracle}, crowd::PanelConfig{1});
+    CleanerConfig config;
+    config.num_threads = threads;
+    cleaning::UnionCleaner cleaner(*u, &db, &panel, config, common::Rng(5));
+    auto stats = cleaner.Run();
+    EXPECT_TRUE(stats.ok());
+    SessionTranscript t;
+    if (stats.ok()) {
+      t.edits = stats->edits;
+      t.questions = crowd::ToString(stats->questions);
+    }
+    query::Evaluator eval(&db);
+    t.final_answers = eval.Evaluate(*u).AnswerTuples();
+    t.final_facts = db.AllFacts();
+    return t;
+  };
+  SessionTranscript want = run(1);
+  for (size_t threads : kThreadCounts) {
+    SessionTranscript got = run(threads);
+    ASSERT_EQ(got.edits.size(), want.edits.size()) << threads;
+    for (size_t i = 0; i < want.edits.size(); ++i) {
+      ASSERT_TRUE(got.edits[i] == want.edits[i]) << threads;
+    }
+    EXPECT_EQ(got.questions, want.questions) << threads;
+    EXPECT_EQ(got.final_answers, want.final_answers) << threads;
+  }
+}
+
+TEST(RngChildStreams, IndexAddressedChildrenAreOrderIndependent) {
+  common::Rng parent(123);
+  // ChildSeed is a pure function of (seed, index): drawing from the parent
+  // must not shift the children (unlike Fork()).
+  uint64_t child3_before = parent.ChildSeed(3);
+  (void)parent.Real();
+  (void)parent.Uniform(0, 1000);
+  EXPECT_EQ(parent.ChildSeed(3), child3_before);
+
+  // Distinct indexes give distinct streams, including adjacent ones.
+  EXPECT_NE(parent.ChildSeed(0), parent.ChildSeed(1));
+  EXPECT_NE(parent.ChildSeed(1), parent.ChildSeed(2));
+
+  // The same child produces the same sequence regardless of which worker
+  // materializes it or in what order — simulate by drawing children in
+  // reverse and comparing against forward derivation.
+  std::vector<int64_t> forward;
+  for (uint64_t i = 0; i < 8; ++i) {
+    common::Rng child = parent.Child(i);
+    forward.push_back(child.Uniform(0, 1 << 30));
+  }
+  std::vector<int64_t> reversed(8);
+  for (size_t i = 8; i-- > 0;) {
+    common::Rng child = parent.Child(i);
+    reversed[i] = child.Uniform(0, 1 << 30);
+  }
+  EXPECT_EQ(forward, reversed);
+
+  // And the pool reproduces the serial derivation index for index.
+  common::ThreadPool pool(4);
+  std::vector<int64_t> parallel = pool.ParallelMap<int64_t>(8, [&](size_t i) {
+    common::Rng child = parent.Child(i);
+    return child.Uniform(0, 1 << 30);
+  });
+  EXPECT_EQ(parallel, forward);
+}
+
+}  // namespace
+}  // namespace qoco

@@ -1,0 +1,261 @@
+// Lifecycle, determinism, and corruption-injection tests for the
+// work-stealing common::ThreadPool — the suite the TSan CI leg runs with
+// real concurrency. Covers the inline (single-thread) degradation, Submit
+// rejection after Shutdown, deterministic ParallelFor/ParallelMap result
+// order, lowest-chunk-wins exception propagation, nested ParallelFor
+// running inline on a worker, work stealing draining the queue behind a
+// blocked worker, and the pool's own AuditInvariants() both passing under
+// heavy traffic and firing on an injected accounting corruption.
+
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qoco::common {
+
+// Friend of ThreadPool (declared in thread_pool.h): simulates the effect of
+// a torn/lost counter update so the audit's accounting cross-check fires
+// without an actual data race (the suite must stay TSan-clean).
+struct ThreadPoolCorruptor {
+  static void InjectPhantomCompletion(ThreadPool* pool) {
+    std::unique_lock<std::mutex> lk(pool->wake_mu_);
+    ++pool->completed_total_;
+  }
+};
+
+namespace {
+
+TEST(ThreadPoolInline, SingleThreadPoolRunsSubmitOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::thread::id ran_on;
+  ASSERT_TRUE(pool.Submit([&] { ran_on = std::this_thread::get_id(); }).ok());
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  pool.Wait();  // Trivially satisfied; must not hang.
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPoolInline, ParallelForIsASerialLoop) {
+  ThreadPool pool(1);
+  std::vector<size_t> visits;
+  pool.ParallelFor(10, [&](size_t i) { visits.push_back(i); });
+  std::vector<size_t> want(10);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(visits, want);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  // Distinct slots per index: no synchronization needed by the contract.
+  pool.ParallelFor(kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPool, ParallelMapPlacesResultsAtTheirIndex) {
+  ThreadPool pool(8);
+  std::vector<size_t> out =
+      pool.ParallelMap<size_t>(257, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WaitBlocksUntilSubmittedWorkDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.Submit([&] {
+                      std::this_thread::sleep_for(std::chrono::microseconds(50));
+                      counter.fetch_add(1, std::memory_order_relaxed);
+                    })
+                    .ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsRejectedWithFailedPrecondition) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); })
+            .ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 8) << "Shutdown must drain queued work";
+  Status rejected = pool.Submit([] {});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+  pool.Shutdown();  // Idempotent.
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::vector<size_t> visits;
+  pool.ParallelFor(5, [&](size_t i) { visits.push_back(i); });
+  EXPECT_EQ(visits, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionFromLowestThrowingIndexWins) {
+  ThreadPool pool(4);
+  // Indexes 5 and 50 both throw. Chunks are contiguous ascending ranges
+  // and the error from the lowest chunk wins (serial order within a
+  // chunk), so the rethrown exception always carries index 5 — regardless
+  // of thread count, chunking, or which chunk finishes first.
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(64, [&](size_t i) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (i == 5 || i == 50) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 5");
+  }
+  // Every chunk still ran to its own completion or first error before the
+  // rethrow: the pool is reusable afterwards.
+  std::vector<int> hits(16, 0);
+  pool.ParallelFor(16, [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnTheWorker) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 8;
+  std::vector<std::vector<size_t>> inner_orders(kOuter);
+  std::vector<int> on_worker(kOuter, 0);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    on_worker[o] = pool.OnWorkerThread() ? 1 : 0;
+    // Nested call: must run inline (serial, deadlock-free) on this worker.
+    pool.ParallelFor(kInner,
+                     [&](size_t i) { inner_orders[o].push_back(i); });
+  });
+  std::vector<size_t> want(kInner);
+  std::iota(want.begin(), want.end(), 0u);
+  for (size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(on_worker[o], 1) << "outer body " << o;
+    EXPECT_EQ(inner_orders[o], want) << "outer body " << o;
+  }
+  EXPECT_FALSE(pool.OnWorkerThread());
+}
+
+TEST(ThreadPool, StealingDrainsWorkQueuedBehindABlockedTask) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  // The blocker parks one worker. Submit round-robins across the two
+  // worker queues, so some of the quick tasks land behind the blocker;
+  // they can only finish if the free worker steals them.
+  ASSERT_TRUE(pool.Submit([&] {
+                    std::unique_lock<std::mutex> lk(mu);
+                    blocker_started = true;
+                    cv.notify_all();
+                    cv.wait(lk, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return blocker_started; });
+  }
+  std::atomic<int> quick_done{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        pool.Submit([&] { quick_done.fetch_add(1, std::memory_order_relaxed); })
+            .ok());
+  }
+  // All 10 quick tasks must complete while the blocker still holds its
+  // worker. Generous deadline; normally finishes in microseconds.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (quick_done.load() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(quick_done.load(), 10)
+      << "free worker failed to steal from the blocked worker's queue";
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    release = true;
+    cv.notify_all();
+  }
+  pool.Wait();
+  EXPECT_TRUE(pool.AuditInvariants().ok());
+}
+
+TEST(ThreadPool, AuditPassesUnderConcurrentTraffic) {
+  ThreadPool pool(4);
+  std::atomic<int> sink{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(
+        64, [&](size_t) { sink.fetch_add(1, std::memory_order_relaxed); });
+    // Audit between waves, at a quiescent point — the merge-barrier
+    // placement the cleaning loops use.
+    ASSERT_TRUE(pool.AuditInvariants().ok());
+  }
+  EXPECT_EQ(sink.load(), 20 * 64);
+}
+
+TEST(ThreadPoolAudit, InjectedAccountingCorruptionFires) {
+  ThreadPool pool(2);
+  std::atomic<int> sink{0};
+  pool.ParallelFor(
+      32, [&](size_t) { sink.fetch_add(1, std::memory_order_relaxed); });
+  ASSERT_TRUE(pool.AuditInvariants().ok());
+  // A phantom completion breaks submitted == completed + running + pending.
+  ThreadPoolCorruptor::InjectPhantomCompletion(&pool);
+  Status audit = pool.AuditInvariants();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.code(), StatusCode::kInternal);
+  EXPECT_NE(audit.message().find("accounting"), std::string::npos) << audit.message();
+}
+
+TEST(ThreadPoolResolve, ExplicitRequestWinsOverEverything) {
+  ::setenv("QOCO_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(5), 5u);
+  ::unsetenv("QOCO_THREADS");
+}
+
+TEST(ThreadPoolResolve, EnvVariableDrivesTheDefault) {
+  ::setenv("QOCO_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(0), 3u);
+  ::unsetenv("QOCO_THREADS");
+}
+
+TEST(ThreadPoolResolve, GarbageEnvFallsBackAndNeverReturnsZero) {
+  ::setenv("QOCO_THREADS", "not-a-number", /*overwrite=*/1);
+  EXPECT_GE(ThreadPool::ResolveNumThreads(0), 1u);
+  ::setenv("QOCO_THREADS", "0", /*overwrite=*/1);
+  EXPECT_GE(ThreadPool::ResolveNumThreads(0), 1u);
+  ::unsetenv("QOCO_THREADS");
+  EXPECT_GE(ThreadPool::ResolveNumThreads(0), 1u);
+}
+
+}  // namespace
+}  // namespace qoco::common

@@ -10,9 +10,47 @@
 #   3. Iterator-invalidation heuristic: no Insert/Erase on a relation while
 #      range-iterating its rows() — the swap-remove invalidates the row
 #      vector mid-loop.
+#   4. No raw std::thread/std::jthread construction outside
+#      src/common/thread_pool.cc: all concurrency goes through
+#      common::ThreadPool so the determinism contract and the TSan matrix
+#      see every thread. (std::this_thread, std::thread::id, and
+#      std::vector<std::thread> member declarations are fine.)
+#
+# tools/lint.sh --self-test exercises the rule regexes against known
+# positives/negatives and exits nonzero if any of them drifts.
 set -u
 
 cd "$(dirname "$0")/.."
+
+# Rule 4 regex: a construction is `std::thread(` / `std::thread{` or
+# `std::thread name(` / `std::thread name{`. `std::thread::...` (static
+# members, ::id) and bare type mentions never match because neither
+# alternative allows a following ':' or '>'.
+thread_ctor_re='std::j?thread[[:space:]]*[({]|std::j?thread[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]'
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  fails=0
+  expect() { # 1=should-match|0=should-not-match, 2=line
+    if [[ "$1" == 1 ]]; then
+      grep -qE "$thread_ctor_re" <<<"$2" \
+        || { echo "self-test: missed positive: $2" >&2; fails=$((fails+1)); }
+    else
+      grep -qE "$thread_ctor_re" <<<"$2" \
+        && { echo "self-test: false positive: $2" >&2; fails=$((fails+1)); }
+    fi
+  }
+  expect 1 'std::thread t(fn);'
+  expect 1 'std::thread worker_1{[] {}};'
+  expect 1 'std::thread(fn).detach();'
+  expect 1 'std::jthread t(fn);'
+  expect 0 'std::thread::id ran_on;'
+  expect 0 'EXPECT_EQ(ran_on, std::this_thread::get_id());'
+  expect 0 'std::vector<std::thread> workers_;'
+  expect 0 'unsigned n = std::thread::hardware_concurrency();'
+  [[ $fails -gt 0 ]] && { echo "lint self-test: $fails failure(s)" >&2; exit 1; }
+  echo "lint self-test: ok"
+  exit 0
+fi
 
 verbose=0
 [[ "${1:-}" == "--verbose" ]] && verbose=1
@@ -64,6 +102,14 @@ for f in "${files[@]}"; do
       if ($0 ~ (var "(\\.|->)(Insert|Erase)\\(")) { print start; scanning = 0 }
       else if (NR - start > 40 || $0 ~ /^}/) scanning = 0
     }')
+
+  # Rule 4: raw thread construction outside the pool implementation.
+  if [[ "$f" != "src/common/thread_pool.cc" ]]; then
+    while IFS= read -r hit; do
+      report "$f:$hit: raw std::thread construction; route work through\
+ common::ThreadPool (src/common/thread_pool.h)"
+    done < <(strip_comments "$f" | grep -nE "$thread_ctor_re" | cut -d: -f1)
+  fi
 done
 
 if [[ $failures -gt 0 ]]; then
