@@ -110,8 +110,9 @@ std::vector<relational::Fact> EditScript(const query::CQuery& q,
   std::vector<relational::Fact> pool;
   for (const query::Atom& atom : q.atoms()) {
     const relational::Relation& rel = db.relation(atom.relation);
-    for (const relational::Tuple& t : rel.rows()) {
-      pool.push_back(relational::Fact{atom.relation, t});
+    for (const relational::ITuple& t : rel.rows()) {
+      pool.push_back(relational::Fact{
+          atom.relation, relational::MaterializeTuple(t, db.dict())});
     }
   }
   std::sort(pool.begin(), pool.end());

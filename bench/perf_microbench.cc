@@ -50,12 +50,94 @@ void BM_SatisfiabilityProbe(benchmark::State& state) {
   const workload::SoccerData& data = Soccer();
   auto q = workload::SoccerQuery(3, *data.catalog);
   query::Evaluator evaluator(data.ground_truth.get());
-  query::Assignment empty(q->num_vars());
+  query::Assignment empty(q->num_vars(), &data.ground_truth->dict());
   for (auto _ : state) {
     benchmark::DoNotOptimize(evaluator.IsSatisfiable(*q, empty));
   }
 }
 BENCHMARK(BM_SatisfiabilityProbe);
+
+// Interning-layer primitives: the per-probe costs the dictionary-encoded
+// storage engine amortizes away. Value-space hashing/compares walk a
+// variant (and string bytes); their id-space twins are integer ops.
+void BM_ValueHash(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  std::vector<relational::Value> values =
+      data.ground_truth->relation(0).ColumnDomain(0);
+  std::vector<relational::ValueId> ids;
+  for (const relational::Value& v : values) {
+    ids.push_back(*data.ground_truth->dict().Find(v));
+  }
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      size_t h = 0;
+      for (const relational::Value& v : values) h ^= v.Hash();
+      benchmark::DoNotOptimize(h);
+    }
+  } else {
+    for (auto _ : state) {
+      size_t h = 0;
+      for (relational::ValueId id : ids) h ^= relational::HashValueId(id);
+      benchmark::DoNotOptimize(h);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_ValueHash)->Arg(0)->Arg(1);  // 0 = Value, 1 = ValueId
+
+void BM_TupleCompare(benchmark::State& state) {
+  const workload::SoccerData& data = Soccer();
+  const relational::Relation& rel = data.ground_truth->relation(0);
+  const std::vector<relational::ITuple>& rows = rel.rows();
+  std::vector<relational::Tuple> tuples;
+  for (const relational::ITuple& t : rows) {
+    tuples.push_back(relational::MaterializeTuple(t, data.ground_truth->dict()));
+  }
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      size_t equal = 0;
+      for (size_t i = 1; i < tuples.size(); ++i) {
+        equal += tuples[i - 1] == tuples[i];
+      }
+      benchmark::DoNotOptimize(equal);
+    }
+  } else {
+    for (auto _ : state) {
+      size_t equal = 0;
+      for (size_t i = 1; i < rows.size(); ++i) {
+        equal += rows[i - 1] == rows[i];
+      }
+      benchmark::DoNotOptimize(equal);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size() - 1));
+}
+BENCHMARK(BM_TupleCompare)->Arg(0)->Arg(1);  // 0 = Tuple, 1 = ITuple
+
+void BM_InternProbe(benchmark::State& state) {
+  // Heterogeneous FindString: the hot boundary probe (parser literals,
+  // oracle answers) — no std::string, no Value construction on a hit.
+  const workload::SoccerData& data = Soccer();
+  std::vector<relational::Value> values =
+      data.ground_truth->relation(0).ColumnDomain(0);
+  std::vector<std::string> strings;
+  for (const relational::Value& v : values) {
+    if (v.is_string()) strings.push_back(v.AsString());
+  }
+  const relational::ValueDictionary& dict = data.ground_truth->dict();
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const std::string& s : strings) {
+      hits += dict.FindString(std::string_view(s)).has_value();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(strings.size()));
+}
+BENCHMARK(BM_InternProbe);
 
 void BM_ParseQuery(benchmark::State& state) {
   const workload::SoccerData& data = Soccer();
@@ -145,8 +227,9 @@ std::vector<relational::Fact> EditScript(const query::CQuery& q,
   std::vector<relational::Fact> pool;
   for (const query::Atom& atom : q.atoms()) {
     const relational::Relation& rel = db.relation(atom.relation);
-    for (const relational::Tuple& t : rel.rows()) {
-      pool.push_back(relational::Fact{atom.relation, t});
+    for (const relational::ITuple& t : rel.rows()) {
+      pool.push_back(relational::Fact{
+          atom.relation, relational::MaterializeTuple(t, db.dict())});
     }
   }
   std::sort(pool.begin(), pool.end());

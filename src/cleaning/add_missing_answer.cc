@@ -20,7 +20,9 @@ std::string AssignmentKey(const query::Assignment& a) {
   for (size_t v = 0; v < a.num_vars(); ++v) {
     query::VarId var = static_cast<query::VarId>(v);
     if (!a.IsBound(var)) continue;
-    key += std::to_string(v) + "=" + a.ValueOf(var).ToString() + ";";
+    // Ids dedup as well as rendered values (id equality is value equality)
+    // without materializing anything.
+    key += std::to_string(v) + "=" + std::to_string(a.IdOf(var)) + ";";
   }
   return key;
 }
@@ -110,13 +112,13 @@ common::Result<InsertResult> AddMissingAnswer(
   out.naive_upper_bound_vars = q_t.BodyVars().size();
 
   query::Evaluator evaluator(db);
-  query::Assignment empty(q_t.num_vars());
+  query::Assignment empty(q_t.num_vars(), &db->dict());
 
   // Lines 1-2: every all-constant atom of body(Q|t) occurs in *every*
   // witness of t, so given that t is a true answer these facts must be
   // true; insert them outright.
   {
-    query::Assignment none(q_t.num_vars());
+    query::Assignment none(q_t.num_vars(), &db->dict());
     for (const query::Atom& atom : q_t.atoms()) {
       bool ground = true;
       for (const query::Term& term : atom.terms) {

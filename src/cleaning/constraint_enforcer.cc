@@ -56,7 +56,8 @@ ConstraintEnforcer::ReconcileInsertion(const relational::Fact& fact,
        constraints_->MissingReferences(*db, fact)) {
     QOCO_ASSIGN_OR_RETURN(query::CQuery ref_query, ReferenceQuery(ref));
     std::optional<query::Assignment> completion =
-        crowd_->Complete(ref_query, query::Assignment(ref_query.num_vars()));
+        crowd_->Complete(ref_query, query::Assignment(ref_query.num_vars(),
+                                                      &db->dict()));
     if (!completion.has_value()) return out;  // Reference unsatisfiable.
     std::optional<relational::Fact> referenced =
         completion->GroundAtom(ref_query.atoms().front());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "src/common/thread_pool.h"
 #include "src/hittingset/hitting_set.h"
@@ -13,21 +14,32 @@ namespace qoco::cleaning {
 namespace {
 
 using relational::Fact;
+using relational::IFact;
 
 /// Working state: witnesses as sets of fact ids, plus the id <-> fact maps.
+/// Element identity is resolved in id space (one hash of flat integers per
+/// fact instead of ordered Value compares); `facts` keeps the materialized
+/// form for the boundaries that need values (edits, trust scores, crowd
+/// questions).
 struct WitnessState {
-  std::vector<Fact> facts;              // id -> fact
+  std::vector<Fact> facts;              // element -> fact (materialized)
   std::vector<std::vector<int>> sets;   // surviving witnesses
 };
 
 WitnessState BuildState(const provenance::WitnessSet& witnesses) {
   WitnessState state;
-  std::map<Fact, int> ids;
+  std::unordered_map<IFact, int, relational::IFactHash> ids;
   for (const provenance::Witness& w : witnesses) {
     std::vector<int> set;
-    for (const Fact& f : w.facts()) {
-      auto [it, inserted] = ids.emplace(f, static_cast<int>(state.facts.size()));
-      if (inserted) state.facts.push_back(f);
+    for (const IFact& f : w.facts()) {
+      auto [it, inserted] =
+          ids.emplace(f, static_cast<int>(state.facts.size()));
+      if (inserted) {
+        // First-seen numbering: witness facts arrive in value order within
+        // each witness, so element numbers (and every transcript downstream
+        // of them) match the value-space engine exactly.
+        state.facts.push_back(relational::MaterializeFact(f, *w.dict()));
+      }
       set.push_back(it->second);
     }
     std::sort(set.begin(), set.end());

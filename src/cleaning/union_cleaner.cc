@@ -19,7 +19,8 @@ bool UnionCleaner::UnionContains(const relational::Tuple& t) const {
   for (const query::CQuery& disjunct : q_.disjuncts()) {
     auto q_t = disjunct.InstantiateAnswer(t);
     if (!q_t.ok()) continue;
-    if (evaluator.IsSatisfiable(*q_t, query::Assignment(q_t->num_vars()))) {
+    if (evaluator.IsSatisfiable(
+            *q_t, query::Assignment(q_t->num_vars(), &db_->dict()))) {
       return true;
     }
   }

@@ -25,6 +25,23 @@ inline void HashCombine(size_t* seed, size_t value) {
   *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
+/// Transparent string hasher for heterogeneous unordered_map lookup: a
+/// map declared as unordered_map<std::string, T, StringHash,
+/// std::equal_to<>> can be probed with a std::string_view (or char*)
+/// without materializing a temporary std::string on the probe path.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 }  // namespace qoco::common
 
 #endif  // QOCO_COMMON_STRINGS_H_

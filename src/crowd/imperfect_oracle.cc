@@ -24,7 +24,7 @@ std::optional<query::Assignment> ImperfectOracle::Complete(
   }
   if (filled.empty()) return std::nullopt;
   query::VarId victim = filled[rng_.Index(filled.size())];
-  const relational::Value& old = correct->ValueOf(victim);
+  const relational::Value old = correct->ValueOf(victim);
   relational::Value corrupted =
       old.is_int() ? relational::Value(old.AsInt() + 1)
                    : relational::Value(old.ToString() + "_x");

@@ -11,8 +11,9 @@ bool SimulatedOracle::IsAnswerTrue(const query::CQuery& q,
   // evaluation.
   auto instantiated = q.InstantiateAnswer(t);
   if (!instantiated.ok()) return false;
-  return evaluator_.IsSatisfiable(*instantiated,
-                                  query::Assignment(q.num_vars()));
+  return evaluator_.IsSatisfiable(
+      *instantiated,
+      query::Assignment(q.num_vars(), &evaluator_.db()->dict()));
 }
 
 bool SimulatedOracle::IsAnswerTrue(const query::UnionQuery& q,

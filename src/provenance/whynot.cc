@@ -17,7 +17,9 @@ std::optional<WhyNotSplit> WhyNotAnalyzer::Analyze(
     std::vector<size_t> indices(k);
     std::iota(indices.begin(), indices.end(), 0);
     query::CQuery sub = q.Subquery(indices);
-    if (!evaluator_.IsSatisfiable(sub, query::Assignment(q.num_vars()))) {
+    if (!evaluator_.IsSatisfiable(
+            sub, query::Assignment(q.num_vars(),
+                                   &evaluator_.db()->dict()))) {
       frontier = k;
       break;
     }

@@ -1,20 +1,34 @@
 #include "src/query/assignment.h"
 
+#include <algorithm>
+
 namespace qoco::query {
+
+using relational::kAbsentConstant;
+using relational::kInvalidId;
+using relational::ValueId;
 
 size_t Assignment::NumBound() const {
   size_t count = 0;
-  for (const auto& slot : slots_) {
-    if (slot.has_value()) ++count;
+  for (ValueId slot : slots_) {
+    if (slot != kInvalidId) ++count;
   }
   return count;
 }
 
 std::optional<relational::Value> Assignment::Resolve(const Term& term) const {
   if (term.is_constant()) return term.constant();
-  const auto& slot = slots_[static_cast<size_t>(term.var())];
-  if (!slot.has_value()) return std::nullopt;
-  return *slot;
+  ValueId slot = slots_[static_cast<size_t>(term.var())];
+  if (slot == kInvalidId) return std::nullopt;
+  return dict_->Materialize(slot);
+}
+
+ValueId Assignment::ResolveId(const Term& term) const {
+  if (term.is_constant()) {
+    std::optional<ValueId> id = dict_->Find(term.constant());
+    return id.has_value() ? *id : kAbsentConstant;
+  }
+  return slots_[static_cast<size_t>(term.var())];
 }
 
 bool Assignment::BindsAll(const std::vector<VarId>& vars) const {
@@ -37,11 +51,28 @@ std::optional<relational::Fact> Assignment::GroundAtom(
   return fact;
 }
 
+std::optional<relational::IFact> Assignment::GroundAtomIds(
+    const Atom& atom) const {
+  relational::IFact fact;
+  fact.relation = atom.relation;
+  for (const Term& term : atom.terms) {
+    ValueId id = ResolveId(term);
+    if (id == kInvalidId || id == kAbsentConstant) return std::nullopt;
+    fact.tuple.push_back(id);
+  }
+  return fact;
+}
+
 std::optional<bool> Assignment::CheckInequality(const Inequality& ineq) const {
-  std::optional<relational::Value> lhs = Resolve(ineq.lhs);
-  std::optional<relational::Value> rhs = Resolve(ineq.rhs);
-  if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
-  return *lhs != *rhs;
+  // Inequalities are ≠ only (query.h), so id comparison decides: equal ids
+  // are equal values, and distinct ids are distinct values. A constant that
+  // was never interned (kAbsentConstant) differs from every bound value;
+  // the grammar puts a variable on the lhs, so both sides can never be
+  // absent constants at once.
+  ValueId lhs = ResolveId(ineq.lhs);
+  ValueId rhs = ResolveId(ineq.rhs);
+  if (lhs == kInvalidId || rhs == kInvalidId) return std::nullopt;
+  return lhs != rhs;
 }
 
 std::optional<relational::Tuple> Assignment::ApplyHead(
@@ -59,8 +90,8 @@ std::optional<relational::Tuple> Assignment::ApplyHead(
 bool Assignment::CompatibleWith(const Assignment& other) const {
   size_t n = std::min(slots_.size(), other.slots_.size());
   for (size_t i = 0; i < n; ++i) {
-    if (slots_[i].has_value() && other.slots_[i].has_value() &&
-        *slots_[i] != *other.slots_[i]) {
+    if (slots_[i] != kInvalidId && other.slots_[i] != kInvalidId &&
+        slots_[i] != other.slots_[i]) {
       return false;
     }
   }
@@ -69,7 +100,7 @@ bool Assignment::CompatibleWith(const Assignment& other) const {
 
 void Assignment::MergeFrom(const Assignment& other) {
   for (size_t i = 0; i < other.slots_.size() && i < slots_.size(); ++i) {
-    if (other.slots_[i].has_value()) slots_[i] = other.slots_[i];
+    if (other.slots_[i] != kInvalidId) slots_[i] = other.slots_[i];
   }
 }
 
@@ -77,11 +108,11 @@ std::string Assignment::ToString(const CQuery& query) const {
   std::string out = "{";
   bool first = true;
   for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].has_value()) continue;
+    if (slots_[i] == kInvalidId) continue;
     if (!first) out += ", ";
     first = false;
     out += query.var_name(static_cast<VarId>(i)) + " -> " +
-           slots_[i]->ToString();
+           dict_->ToString(slots_[i]);
   }
   out += "}";
   return out;

@@ -4,17 +4,32 @@
 #include <limits>
 
 #include "src/common/thread_pool.h"
+#include "src/relational/value_id.h"
 
 namespace qoco::query {
 
 namespace {
 
 using relational::Database;
+using relational::ITuple;
+using relational::kAbsentConstant;
+using relational::kInvalidId;
 using relational::Relation;
-using relational::Tuple;
-using relational::Value;
+using relational::ValueId;
 
-/// Backtracking join state.
+/// A query term lowered to id space: either a variable slot or the
+/// pre-resolved id of a constant. Constants are resolved once per search
+/// via ValueDictionary::Find (non-mutating, so worker shards can compile
+/// their own copies concurrently); a constant absent from the dictionary
+/// compiles to kAbsentConstant, which equals no stored id — the atom then
+/// matches nothing, exactly like the value-space comparison it replaces.
+struct CompiledTerm {
+  VarId var = -1;          // >= 0 for variables.
+  ValueId id = kInvalidId;  // Constant id (or kAbsentConstant) when var < 0.
+  bool is_var() const { return var >= 0; }
+};
+
+/// Backtracking join state over interned rows.
 class Search {
  public:
   Search(const CQuery& q, const Database& db, Assignment binding,
@@ -24,7 +39,22 @@ class Search {
         binding_(std::move(binding)),
         limit_(limit),
         out_(out),
-        atom_done_(q.atoms().size(), false) {}
+        atom_done_(q.atoms().size(), false) {
+    const relational::ValueDictionary& dict = db.dict();
+    atom_rel_.reserve(q.atoms().size());
+    atom_terms_.reserve(q.atoms().size());
+    for (const Atom& atom : q.atoms()) {
+      atom_rel_.push_back(&db.relation(atom.relation));
+      std::vector<CompiledTerm> terms;
+      terms.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) terms.push_back(Compile(t, dict));
+      atom_terms_.push_back(std::move(terms));
+    }
+    ineqs_.reserve(q.inequalities().size());
+    for (const Inequality& ineq : q.inequalities()) {
+      ineqs_.push_back({Compile(ineq.lhs, dict), Compile(ineq.rhs, dict)});
+    }
+  }
 
   void Run() {
     if (!InequalitiesHold()) return;
@@ -61,12 +91,11 @@ class Search {
     }
     AtomScore score;
     plan.atom = PickBestAtom(&score);
-    const Relation& rel = db_.relation(q_.atoms()[plan.atom].relation);
-    if (score.probe_column != static_cast<size_t>(-1)) {
+    if (score.posting != nullptr) {
       plan.use_posting = true;
-      plan.posting = rel.RowsWithValue(score.probe_column, score.probe_value);
+      plan.posting = *score.posting;
     } else {
-      plan.num_rows = rel.rows().size();
+      plan.num_rows = atom_rel_[plan.atom]->rows().size();
     }
     return plan;
   }
@@ -76,16 +105,15 @@ class Search {
   /// came from PlanRoot() on an identically-constructed Search (same query,
   /// database state, and binding) and is neither infeasible nor trivial.
   void RunRootRange(const RootPlan& plan, size_t begin, size_t end) {
-    const Atom& atom = q_.atoms()[plan.atom];
-    const Relation& rel = db_.relation(atom.relation);
+    const Relation& rel = *atom_rel_[plan.atom];
     atom_done_[plan.atom] = true;
     // TryRow's `remaining` counts the atom being expanded (it recurses with
     // remaining - 1), exactly as Recurse passes it.
     const size_t remaining = q_.atoms().size();
     for (size_t i = begin; i < end && !Done(); ++i) {
-      const Tuple& row = plan.use_posting ? rel.rows()[plan.posting[i]]
-                                          : rel.rows()[i];
-      TryRow(atom, row, remaining);
+      const ITuple& row = plan.use_posting ? rel.rows()[plan.posting[i]]
+                                           : rel.rows()[i];
+      TryRow(plan.atom, row, remaining);
     }
     atom_done_[plan.atom] = false;
   }
@@ -93,39 +121,64 @@ class Search {
  private:
   bool Done() const { return limit_ != 0 && out_->size() >= limit_; }
 
-  /// Checks every inequality whose both sides currently resolve.
+  static CompiledTerm Compile(const Term& t,
+                              const relational::ValueDictionary& dict) {
+    CompiledTerm c;
+    if (t.is_constant()) {
+      c.var = -1;
+      std::optional<ValueId> id = dict.Find(t.constant());
+      c.id = id.has_value() ? *id : kAbsentConstant;
+    } else {
+      c.var = t.var();
+    }
+    return c;
+  }
+
+  /// Resolves a compiled term against the current binding: the constant's
+  /// id (possibly kAbsentConstant), the bound variable's id, or kInvalidId
+  /// for an unbound variable.
+  ValueId ResolveCompiled(const CompiledTerm& t) const {
+    return t.is_var() ? binding_.IdOf(t.var) : t.id;
+  }
+
+  /// Checks every inequality whose both sides currently resolve. Pure id
+  /// compares: the paper's inequalities are ≠ only, id equality is value
+  /// equality, and kAbsentConstant differs from every stored id (the
+  /// grammar never puts constants on both sides).
   bool InequalitiesHold() const {
-    for (const Inequality& ineq : q_.inequalities()) {
-      std::optional<bool> holds = binding_.CheckInequality(ineq);
-      if (holds.has_value() && !*holds) return false;
+    for (const auto& [lhs, rhs] : ineqs_) {
+      ValueId a = ResolveCompiled(lhs);
+      ValueId b = ResolveCompiled(rhs);
+      if (a == kInvalidId || b == kInvalidId) continue;
+      if (a == b) return false;
     }
     return true;
   }
 
   /// Number of argument positions of atom `idx` that resolve now, plus an
-  /// estimated candidate count for expanding it.
+  /// estimated candidate count for expanding it. `posting` memoizes the
+  /// posting list of the most selective bound column so neither Recurse nor
+  /// PlanRoot re-probes the index the scoring pass already walked (the list
+  /// stays valid: indexes only move under mutation, never mid-evaluation).
   struct AtomScore {
     size_t bound_positions = 0;
     size_t candidates = std::numeric_limits<size_t>::max();
-    // The bound column with the fewest matching rows (or npos if none).
-    size_t probe_column = static_cast<size_t>(-1);
-    Value probe_value;
+    const std::vector<uint32_t>* posting = nullptr;
   };
 
   AtomScore ScoreAtom(size_t idx) const {
-    const Atom& atom = q_.atoms()[idx];
-    const Relation& rel = db_.relation(atom.relation);
+    const Relation& rel = *atom_rel_[idx];
+    const std::vector<CompiledTerm>& terms = atom_terms_[idx];
     AtomScore score;
     score.candidates = rel.size();
-    for (size_t col = 0; col < atom.terms.size(); ++col) {
-      std::optional<Value> v = binding_.Resolve(atom.terms[col]);
-      if (!v.has_value()) continue;
+    for (size_t col = 0; col < terms.size(); ++col) {
+      ValueId id = ResolveCompiled(terms[col]);
+      if (id == kInvalidId) continue;  // Unbound variable.
       ++score.bound_positions;
-      size_t rows = rel.CountRowsWithValue(col, *v);
-      if (rows < score.candidates) {
-        score.candidates = rows;
-        score.probe_column = col;
-        score.probe_value = *v;
+      const std::vector<uint32_t>& rows = rel.RowsWithId(col, id);
+      if (rows.size() < score.candidates) {
+        score.candidates = rows.size();
+        score.posting = &rows;
       }
     }
     return score;
@@ -156,12 +209,12 @@ class Search {
     return best;
   }
 
-  /// Unifies `row` against `atom` and recurses on success; always restores
-  /// the binding before returning.
-  void TryRow(const Atom& atom, const Tuple& row, size_t remaining) {
+  /// Unifies `row` against atom `idx` and recurses on success; always
+  /// restores the binding before returning.
+  void TryRow(size_t idx, const ITuple& row, size_t remaining) {
     if (Done()) return;
     std::vector<VarId> newly_bound;
-    if (Unify(atom, row, &newly_bound)) {
+    if (Unify(idx, row, &newly_bound)) {
       if (InequalitiesHold()) Recurse(remaining - 1);
     }
     for (VarId v : newly_bound) binding_.Unbind(v);
@@ -176,23 +229,21 @@ class Search {
     AtomScore best_score;
     size_t best = PickBestAtom(&best_score);
 
-    const Atom& atom = q_.atoms()[best];
-    const Relation& rel = db_.relation(atom.relation);
+    const Relation& rel = *atom_rel_[best];
     atom_done_[best] = true;
 
-    if (best_score.probe_column != static_cast<size_t>(-1)) {
-      // Index probe on the most selective bound column. The posting list
-      // stays valid across recursion: indexes are persistent and only
-      // mutations (which never happen mid-evaluation) patch them.
-      const std::vector<uint32_t>& positions =
-          rel.RowsWithValue(best_score.probe_column, best_score.probe_value);
-      for (uint32_t pos : positions) {
-        TryRow(atom, rel.rows()[pos], remaining);
+    if (best_score.posting != nullptr) {
+      // Index probe on the most selective bound column, reusing the posting
+      // list ScoreAtom already fetched. The list stays valid across
+      // recursion: indexes are persistent and only mutations (which never
+      // happen mid-evaluation) patch them.
+      for (uint32_t pos : *best_score.posting) {
+        TryRow(best, rel.rows()[pos], remaining);
         if (Done()) break;
       }
     } else {
-      for (const Tuple& row : rel.rows()) {
-        TryRow(atom, row, remaining);
+      for (const ITuple& row : rel.rows()) {
+        TryRow(best, row, remaining);
         if (Done()) break;
       }
     }
@@ -200,23 +251,24 @@ class Search {
     atom_done_[best] = false;
   }
 
-  /// Extends binding_ to match `row` against `atom`; records vars bound by
-  /// this call so the caller can undo them. Returns false on mismatch
-  /// (bindings recorded so far are still returned for undo).
-  bool Unify(const Atom& atom, const Tuple& row,
-             std::vector<VarId>* newly_bound) {
-    for (size_t col = 0; col < atom.terms.size(); ++col) {
-      const Term& term = atom.terms[col];
-      if (term.is_constant()) {
-        if (term.constant() != row[col]) return false;
+  /// Extends binding_ to match `row` against atom `idx`; records vars bound
+  /// by this call so the caller can undo them. Returns false on mismatch
+  /// (bindings recorded so far are still returned for undo). Pure id
+  /// compares — no dictionary access on the hot path.
+  bool Unify(size_t idx, const ITuple& row, std::vector<VarId>* newly_bound) {
+    const std::vector<CompiledTerm>& terms = atom_terms_[idx];
+    for (size_t col = 0; col < terms.size(); ++col) {
+      const CompiledTerm& term = terms[col];
+      if (!term.is_var()) {
+        if (term.id != row[col]) return false;
         continue;
       }
-      VarId v = term.var();
-      if (binding_.IsBound(v)) {
-        if (binding_.ValueOf(v) != row[col]) return false;
+      ValueId bound = binding_.IdOf(term.var);
+      if (bound != kInvalidId) {
+        if (bound != row[col]) return false;
       } else {
-        binding_.Bind(v, row[col]);
-        newly_bound->push_back(v);
+        binding_.BindId(term.var, row[col]);
+        newly_bound->push_back(term.var);
       }
     }
     return true;
@@ -228,6 +280,11 @@ class Search {
   size_t limit_;
   std::vector<Assignment>* out_;
   std::vector<bool> atom_done_;
+  // Per-atom compiled form: relation pointer + id-space terms, plus
+  // id-space inequalities. Built once in the constructor.
+  std::vector<const Relation*> atom_rel_;
+  std::vector<std::vector<CompiledTerm>> atom_terms_;
+  std::vector<std::pair<CompiledTerm, CompiledTerm>> ineqs_;
 };
 
 }  // namespace
@@ -296,8 +353,8 @@ std::vector<relational::Tuple> EvalResult::AnswerTuples() const {
 
 EvalResult Evaluator::Evaluate(const CQuery& q) const {
   EvalResult result;
-  std::vector<Assignment> assignments =
-      FindExtensions(q, Assignment(q.num_vars()), /*limit=*/0);
+  std::vector<Assignment> assignments = FindExtensions(
+      q, Assignment(q.num_vars(), &db_->dict()), /*limit=*/0);
   for (Assignment& a : assignments) {
     std::optional<relational::Tuple> answer = a.ApplyHead(q.head());
     if (!answer.has_value()) continue;  // Unsafe head; cannot happen via Make.
@@ -344,7 +401,7 @@ std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
   Assignment binding = partial;
   if (binding.num_vars() < q.num_vars()) {
     // Widen to the query's variable space.
-    Assignment widened(q.num_vars());
+    Assignment widened(q.num_vars(), &db_->dict());
     widened.MergeFrom(partial);
     binding = std::move(widened);
   }
@@ -367,6 +424,9 @@ std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
     if (n >= kMinRootCandidatesForParallel) {
       // Workers probe const lazily-built indexes concurrently; build every
       // index from this thread first so no worker races a cold build.
+      // (Search compilation only calls the dictionary's const, non-interning
+      // Find, so shards compiling concurrently stay within the dictionary's
+      // threading contract.)
       db_->WarmIndexes();
       const size_t chunks =
           std::min(n, pool_->num_threads() * kRootChunksPerThread);
@@ -403,13 +463,13 @@ bool Evaluator::IsSatisfiable(const CQuery& q,
 
 provenance::Witness Evaluator::WitnessFor(const CQuery& q,
                                           const Assignment& a) {
-  std::vector<relational::Fact> facts;
+  std::vector<relational::IFact> facts;
   facts.reserve(q.atoms().size());
   for (const Atom& atom : q.atoms()) {
-    std::optional<relational::Fact> fact = a.GroundAtom(atom);
+    std::optional<relational::IFact> fact = a.GroundAtomIds(atom);
     if (fact.has_value()) facts.push_back(std::move(*fact));
   }
-  return provenance::Witness(std::move(facts));
+  return provenance::Witness(std::move(facts), a.dict());
 }
 
 }  // namespace qoco::query

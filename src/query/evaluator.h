@@ -87,6 +87,10 @@ class Evaluator {
   void set_pool(common::ThreadPool* pool) { pool_ = pool; }
   common::ThreadPool* pool() const { return pool_; }
 
+  /// The database this evaluator reads (callers constructing partial
+  /// assignments need its dictionary).
+  const relational::Database* db() const { return db_; }
+
   /// Full evaluation of Q with provenance (assignments + witnesses).
   EvalResult Evaluate(const CQuery& q) const;
 

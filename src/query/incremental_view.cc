@@ -9,23 +9,27 @@ namespace qoco::query {
 
 namespace {
 
-/// Binds `atom`'s variables to the components of `tuple` (pinning the atom
-/// to that fact). Returns false on mismatch: a constant term that differs
-/// from the tuple, or a repeated variable asked to take two values.
-bool PinAtomToTuple(const Atom& atom, const relational::Tuple& tuple,
+/// Binds `atom`'s variables to the components of id tuple `tuple` (pinning
+/// the atom to that fact). Returns false on mismatch: a constant term that
+/// differs from the tuple, or a repeated variable asked to take two values.
+/// Pure id compares; constants resolve through the dictionary's const Find
+/// (a constant absent from the dictionary equals no stored id).
+bool PinAtomToTuple(const Atom& atom, const relational::ITuple& tuple,
                     Assignment* binding) {
   if (atom.terms.size() != tuple.size()) return false;
   for (size_t col = 0; col < atom.terms.size(); ++col) {
     const Term& term = atom.terms[col];
     if (term.is_constant()) {
-      if (term.constant() != tuple[col]) return false;
+      std::optional<relational::ValueId> id =
+          binding->dict()->Find(term.constant());
+      if (!id.has_value() || *id != tuple[col]) return false;
       continue;
     }
     VarId v = term.var();
     if (binding->IsBound(v)) {
-      if (binding->ValueOf(v) != tuple[col]) return false;
+      if (binding->IdOf(v) != tuple[col]) return false;
     } else {
-      binding->Bind(v, tuple[col]);
+      binding->BindId(v, tuple[col]);
     }
   }
   return true;
@@ -34,10 +38,10 @@ bool PinAtomToTuple(const Atom& atom, const relational::Tuple& tuple,
 /// True iff assignment `a` maps some atom of `q` over f.relation to `f` —
 /// i.e. f belongs to the witness of `a`.
 bool AssignmentUsesFact(const CQuery& q, const Assignment& a,
-                        const relational::Fact& f) {
+                        const relational::IFact& f) {
   for (const Atom& atom : q.atoms()) {
     if (atom.relation != f.relation) continue;
-    std::optional<relational::Fact> ground = a.GroundAtom(atom);
+    std::optional<relational::IFact> ground = a.GroundAtomIds(atom);
     if (ground.has_value() && ground->tuple == f.tuple) return true;
   }
   return false;
@@ -71,13 +75,18 @@ void IncrementalView::OnInsert(const relational::Fact& f) {
     return;
   }
   ++stats_.insert_deltas;
+  // The insert interned f's values (the dictionary is append-only), so the
+  // id form always exists here.
+  std::optional<relational::IFact> fi =
+      relational::FindFact(f, db_->dict());
+  if (!fi.has_value()) return;
   // Delta rule, insert side: any assignment made newly valid by f must map
   // at least one atom to f. Pin each candidate atom in turn and search for
   // extensions over the current (post-insert) database.
   for (const Atom& atom : q_.atoms()) {
     if (atom.relation != f.relation) continue;
-    Assignment pinned(q_.num_vars());
-    if (!PinAtomToTuple(atom, f.tuple, &pinned)) continue;
+    Assignment pinned(q_.num_vars(), &db_->dict());
+    if (!PinAtomToTuple(atom, fi->tuple, &pinned)) continue;
     std::vector<Assignment> found =
         evaluator_.FindExtensions(q_, pinned, /*limit=*/0);
     for (Assignment& a : found) {
@@ -102,6 +111,12 @@ void IncrementalView::OnErase(const relational::Fact& f) {
     return;
   }
   ++stats_.erase_deltas;
+  // An erased fact was stored, so its values are interned (the dictionary
+  // never forgets). A fact with un-interned values was never in the
+  // database, hence in no cached witness: nothing to drop.
+  std::optional<relational::IFact> fi =
+      relational::FindFact(f, db_->dict());
+  if (!fi.has_value()) return;
   // Delta rule, delete side: drop every assignment whose witness contains
   // f, garbage-collect the witness sets of answers that lost assignments,
   // and erase answers whose assignment set becomes empty.
@@ -109,7 +124,7 @@ void IncrementalView::OnErase(const relational::Fact& f) {
   for (AnswerInfo& info : answers) {
     size_t before = info.assignments.size();
     std::erase_if(info.assignments, [&](const Assignment& a) {
-      return AssignmentUsesFact(q_, a, f);
+      return AssignmentUsesFact(q_, a, *fi);
     });
     if (info.assignments.size() == before) continue;
     // Rebuild the witness set from the surviving assignments, preserving
@@ -147,11 +162,13 @@ common::Status IncrementalView::AuditInvariants() const {
       audit.Violation() << "answer " << tuple << " has no witnesses";
     }
     for (const provenance::Witness& w : info.witnesses) {
-      for (const relational::Fact& f : w.facts()) {
-        if (!db_->Contains(f)) {
+      for (const relational::IFact& f : w.facts()) {
+        if (!db_->ContainsIds(f)) {
           audit.Violation() << "answer " << tuple
                             << " has a witness over the absent fact "
-                            << db_->FactToString(f);
+                            << db_->FactToString(
+                                   relational::MaterializeFact(f,
+                                                               db_->dict()));
         }
       }
     }
@@ -189,8 +206,9 @@ common::Status IncrementalView::AuditInvariants() const {
     }
     provenance::WitnessSet got_w = got->witnesses;
     provenance::WitnessSet want_w = want.witnesses;
-    std::sort(got_w.begin(), got_w.end());
-    std::sort(want_w.begin(), want_w.end());
+    provenance::WitnessLess less{&db_->dict()};
+    std::sort(got_w.begin(), got_w.end(), less);
+    std::sort(want_w.begin(), want_w.end(), less);
     if (got_w != want_w) {
       audit.Violation() << "witness set of " << tuple
                         << " differs from from-scratch evaluation";

@@ -1,6 +1,7 @@
 #include "src/relational/constraints.h"
 
-#include <map>
+#include <optional>
+#include <unordered_map>
 
 namespace qoco::relational {
 
@@ -48,26 +49,53 @@ common::Status ConstraintSet::AddForeignKey(ForeignKeyConstraint fk) {
   return common::Status::OK();
 }
 
+namespace {
+
+/// Per-column non-mutating id lookup of `t`. A column whose value was never
+/// interned resolves to nullopt: it equals no stored id, hence no stored
+/// row value — exactly the value-space comparison it replaces. (Facts
+/// reaching constraint checks arrive *before* insertion, so any subset of
+/// their columns may be un-interned.)
+std::vector<std::optional<ValueId>> FindColumnIds(
+    const Tuple& t, const ValueDictionary& dict) {
+  std::vector<std::optional<ValueId>> ids;
+  ids.reserve(t.size());
+  for (const Value& v : t) ids.push_back(dict.Find(v));
+  return ids;
+}
+
+}  // namespace
+
 std::vector<Fact> ConstraintSet::KeyConflicts(const Database& db,
                                               const Fact& fact) const {
   std::vector<Fact> conflicts;
+  std::vector<std::optional<ValueId>> ids =
+      FindColumnIds(fact.tuple, db.dict());
   for (const KeyConstraint& key : keys_) {
     if (key.relation != fact.relation) continue;
-    // Probe on the first key column, filter on the rest.
+    // Probe on the first key column, filter on the rest — all id compares.
+    const std::optional<ValueId>& probe = ids[key.key_columns.front()];
+    if (!probe.has_value()) continue;  // Un-interned key value: no rival.
     const Relation& rel = db.relation(key.relation);
-    for (uint32_t pos : rel.RowsWithValue(
-             key.key_columns.front(),
-             fact.tuple[key.key_columns.front()])) {
-      const Tuple& row = rel.rows()[pos];
+    for (uint32_t pos : rel.RowsWithId(key.key_columns.front(), *probe)) {
+      const ITuple& row = rel.rows()[pos];
       bool same_key = true;
       for (size_t c : key.key_columns) {
-        if (row[c] != fact.tuple[c]) {
+        if (!ids[c].has_value() || row[c] != *ids[c]) {
           same_key = false;
           break;
         }
       }
-      if (same_key && row != fact.tuple) {
-        conflicts.push_back(Fact{key.relation, row});
+      if (!same_key) continue;
+      bool identical = true;
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (!ids[c].has_value() || row[c] != *ids[c]) {
+          identical = false;
+          break;
+        }
+      }
+      if (!identical) {
+        conflicts.push_back(Fact{key.relation, rel.MaterializeRow(pos)});
       }
     }
   }
@@ -77,26 +105,32 @@ std::vector<Fact> ConstraintSet::KeyConflicts(const Database& db,
 std::vector<MissingReference> ConstraintSet::MissingReferences(
     const Database& db, const Fact& fact) const {
   std::vector<MissingReference> missing;
+  std::vector<std::optional<ValueId>> ids =
+      FindColumnIds(fact.tuple, db.dict());
   for (const ForeignKeyConstraint& fk : foreign_keys_) {
     if (fk.referencing != fact.relation) continue;
     const Relation& target = db.relation(fk.referenced);
     // Does any target row agree on all paired columns?
     bool found = false;
-    for (uint32_t pos : target.RowsWithValue(
-             fk.referenced_columns.front(),
-             fact.tuple[fk.referencing_columns.front()])) {
-      const Tuple& row = target.rows()[pos];
-      bool all_match = true;
-      for (size_t i = 0; i < fk.referenced_columns.size(); ++i) {
-        if (row[fk.referenced_columns[i]] !=
-            fact.tuple[fk.referencing_columns[i]]) {
-          all_match = false;
+    const std::optional<ValueId>& probe =
+        ids[fk.referencing_columns.front()];
+    if (probe.has_value()) {
+      for (uint32_t pos :
+           target.RowsWithId(fk.referenced_columns.front(), *probe)) {
+        const ITuple& row = target.rows()[pos];
+        bool all_match = true;
+        for (size_t i = 0; i < fk.referenced_columns.size(); ++i) {
+          const std::optional<ValueId>& want =
+              ids[fk.referencing_columns[i]];
+          if (!want.has_value() || row[fk.referenced_columns[i]] != *want) {
+            all_match = false;
+            break;
+          }
+        }
+        if (all_match) {
+          found = true;
           break;
         }
-      }
-      if (all_match) {
-        found = true;
-        break;
       }
     }
     if (found) continue;
@@ -114,26 +148,32 @@ std::vector<MissingReference> ConstraintSet::MissingReferences(
 
 common::Status ConstraintSet::Validate(const Database& db) const {
   for (const KeyConstraint& key : keys_) {
-    std::map<Tuple, const Tuple*> seen;
-    for (const Tuple& row : db.relation(key.relation).rows()) {
-      Tuple key_values;
+    // Key projections dedup in id space; rows materialize only to render a
+    // violation.
+    const Relation& rel = db.relation(key.relation);
+    std::unordered_map<ITuple, uint32_t, ITupleHash> seen;
+    for (uint32_t pos = 0; pos < rel.rows().size(); ++pos) {
+      const ITuple& row = rel.rows()[pos];
+      ITuple key_values;
       for (size_t c : key.key_columns) key_values.push_back(row[c]);
-      auto [it, inserted] = seen.emplace(std::move(key_values), &row);
+      auto [it, inserted] = seen.emplace(std::move(key_values), pos);
       if (!inserted) {
         return common::Status::FailedPrecondition(
             "key violation in '" + catalog_->relation_name(key.relation) +
-            "': " + TupleToString(*it->second) + " vs " + TupleToString(row));
+            "': " + TupleToString(rel.MaterializeRow(it->second)) + " vs " +
+            TupleToString(rel.MaterializeRow(pos)));
       }
     }
   }
   for (const ForeignKeyConstraint& fk : foreign_keys_) {
-    for (const Tuple& row : db.relation(fk.referencing).rows()) {
-      Fact fact{fk.referencing, row};
+    const Relation& rel = db.relation(fk.referencing);
+    for (uint32_t pos = 0; pos < rel.rows().size(); ++pos) {
+      Fact fact{fk.referencing, rel.MaterializeRow(pos)};
       if (!MissingReferences(db, fact).empty()) {
         return common::Status::FailedPrecondition(
             "dangling foreign key from '" +
             catalog_->relation_name(fk.referencing) + "' row " +
-            TupleToString(row));
+            TupleToString(fact.tuple));
       }
     }
   }

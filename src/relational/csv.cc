@@ -99,7 +99,8 @@ std::string RelationToCsv(const Database& db, RelationId id) {
   const RelationSchema& schema = db.catalog().schema(id);
   std::string out = common::Join(schema.attributes, ",");
   out += "\n";
-  for (const Tuple& t : db.relation(id).rows()) {
+  for (const ITuple& row : db.relation(id).rows()) {
+    Tuple t = MaterializeTuple(row, db.dict());
     for (size_t i = 0; i < t.size(); ++i) {
       if (i > 0) out += ",";
       out += EncodeFieldImpl(t[i]);

@@ -8,7 +8,8 @@ Database::Database(const Catalog* catalog) : catalog_(catalog) {
   relations_.reserve(catalog_->size());
   for (size_t id = 0; id < catalog_->size(); ++id) {
     relations_.emplace_back(
-        catalog_->schema(static_cast<RelationId>(id)).arity());
+        catalog_->schema(static_cast<RelationId>(id)).arity(),
+        &catalog_->dict());
   }
 }
 
@@ -50,24 +51,28 @@ size_t Database::TotalFacts() const {
 std::vector<Fact> Database::AllFacts() const {
   std::vector<Fact> facts;
   facts.reserve(TotalFacts());
+  const ValueDictionary& dict = catalog_->dict();
   for (size_t id = 0; id < relations_.size(); ++id) {
-    for (const Tuple& t : relations_[id].rows()) {
-      facts.push_back(Fact{static_cast<RelationId>(id), t});
+    for (const ITuple& t : relations_[id].rows()) {
+      facts.push_back(
+          Fact{static_cast<RelationId>(id), MaterializeTuple(t, dict)});
     }
   }
   return facts;
 }
 
 size_t Database::Distance(const Database& other) const {
+  // Both instances share the catalog (hence the dictionary), so the
+  // symmetric difference is computed entirely on ids.
   size_t diff = 0;
   for (size_t id = 0; id < relations_.size(); ++id) {
     const Relation& mine = relations_[id];
     const Relation& theirs = other.relations_[id];
-    for (const Tuple& t : mine.rows()) {
-      if (!theirs.Contains(t)) ++diff;
+    for (const ITuple& t : mine.rows()) {
+      if (!theirs.ContainsIds(t)) ++diff;
     }
-    for (const Tuple& t : theirs.rows()) {
-      if (!mine.Contains(t)) ++diff;
+    for (const ITuple& t : theirs.rows()) {
+      if (!mine.ContainsIds(t)) ++diff;
     }
   }
   return diff;
@@ -83,6 +88,10 @@ std::string Database::FactToString(const Fact& fact) const {
 
 common::Status Database::AuditInvariants() const {
   common::InvariantAuditor audit("relational::Database");
+  // The shared dictionary is part of this instance's integrity: orphan-id
+  // checks in the per-relation audits are only meaningful against a
+  // self-consistent table.
+  audit.Merge("dict", catalog_->dict().AuditInvariants());
   for (size_t id = 0; id < relations_.size(); ++id) {
     audit.Merge(catalog_->relation_name(static_cast<RelationId>(id)),
                 relations_[id].AuditInvariants());

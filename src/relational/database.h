@@ -33,6 +33,9 @@ class Database {
 
   const Catalog& catalog() const { return *catalog_; }
 
+  /// The value dictionary shared by every instance over this catalog.
+  ValueDictionary& dict() const { return catalog_->dict(); }
+
   /// The relation instance for `id`. Precondition: catalog().IsValid(id).
   const Relation& relation(RelationId id) const {
     return relations_[static_cast<size_t>(id)];
@@ -41,6 +44,11 @@ class Database {
   /// True iff the fact is in this instance.
   bool Contains(const Fact& fact) const {
     return relation(fact.relation).Contains(fact.tuple);
+  }
+
+  /// Id-space membership probe (shared-dictionary twin of Contains).
+  bool ContainsIds(const IFact& fact) const {
+    return relation(fact.relation).ContainsIds(fact.tuple);
   }
 
   /// Inserts a fact (idempotent; returns whether anything changed).

@@ -1,0 +1,132 @@
+#ifndef QOCO_RELATIONAL_ID_POSTING_MAP_H_
+#define QOCO_RELATIONAL_ID_POSTING_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/relational/value_id.h"
+
+namespace qoco::relational {
+
+/// Open-addressed flat map from ValueId to a posting list of row
+/// positions: the per-column index representation behind
+/// Relation::RowsWithId. Replaces unordered_map<Value, vector<uint32_t>,
+/// ValueHash> — a probe is one id hash and a short linear scan over a
+/// contiguous slot array instead of a string hash plus node chasing.
+///
+/// Linear probing with backward-shift deletion (no tombstones), power-of-2
+/// capacity, max load factor 0.7. kInvalidId marks empty slots; it is
+/// unreachable by any encoder, so every real id is storable.
+///
+/// Iterator/pointer validity matches the contract Relation documents:
+/// a posting-list reference returned by Find stays valid until the next
+/// Insert into or Erase from *this map* (growth or backward-shift moves
+/// the vectors; the heap buffers they own move with them, but callers
+/// hold the vector address, not the buffer).
+class IdPostingMap {
+ public:
+  IdPostingMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The posting list for `key`, or nullptr.
+  const std::vector<uint32_t>* Find(ValueId key) const {
+    if (slots_.empty()) return nullptr;
+    size_t mask = slots_.size() - 1;
+    for (size_t i = HashValueId(key) & mask;; i = (i + 1) & mask) {
+      if (slots_[i].key == key) return &slots_[i].rows;
+      if (slots_[i].key == kInvalidId) return nullptr;
+    }
+  }
+  std::vector<uint32_t>* Find(ValueId key) {
+    return const_cast<std::vector<uint32_t>*>(
+        static_cast<const IdPostingMap*>(this)->Find(key));
+  }
+
+  /// The posting list for `key`, default-constructed if absent.
+  std::vector<uint32_t>& operator[](ValueId key) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) Grow();
+    size_t mask = slots_.size() - 1;
+    size_t i = HashValueId(key) & mask;
+    while (slots_[i].key != key && slots_[i].key != kInvalidId) {
+      i = (i + 1) & mask;
+    }
+    if (slots_[i].key == kInvalidId) {
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].rows;
+  }
+
+  /// Removes `key` (no-op if absent), backward-shifting the displaced run
+  /// so probes never need tombstones.
+  void Erase(ValueId key) {
+    if (slots_.empty()) return;
+    size_t mask = slots_.size() - 1;
+    size_t i = HashValueId(key) & mask;
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kInvalidId) return;
+      i = (i + 1) & mask;
+    }
+    --size_;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kInvalidId) break;
+      size_t ideal = HashValueId(slots_[j].key) & mask;
+      // Move j down iff its probe run started at or before the hole —
+      // i.e. the hole lies inside j's probe sequence.
+      if (((j - ideal) & mask) >= ((j - i) & mask)) {
+        slots_[i] = std::move(slots_[j]);
+        slots_[j].key = kInvalidId;
+        slots_[j].rows = std::vector<uint32_t>();
+        i = j;
+      }
+    }
+    slots_[i].key = kInvalidId;
+    slots_[i].rows = std::vector<uint32_t>();
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Calls f(key, posting_list) for every entry, in unspecified order.
+  /// Callers needing a deterministic order must sort what they collect
+  /// (raw-id or slot order is interning/probe order — never transcript
+  /// safe).
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kInvalidId) f(s.key, s.rows);
+    }
+  }
+
+ private:
+  struct Slot {
+    ValueId key = kInvalidId;
+    std::vector<uint32_t> rows;
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == kInvalidId) continue;
+      size_t i = HashValueId(s.key) & mask;
+      while (slots_[i].key != kInvalidId) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_ID_POSTING_MAP_H_

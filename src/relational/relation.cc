@@ -9,9 +9,19 @@ namespace qoco::relational {
 
 const std::vector<uint32_t> Relation::kEmptyRows;
 
+bool Relation::Contains(const Tuple& t) const {
+  std::optional<ITuple> ids = FindTuple(t, *dict_);
+  return ids.has_value() && membership_.contains(*ids);
+}
+
 bool Relation::Insert(const Tuple& t) {
   QOCO_DCHECK_EQ(t.size(), arity_)
       << "arity mismatch inserting " << TupleToString(t);
+  return InsertIds(InternTuple(t, dict_));
+}
+
+bool Relation::InsertIds(const ITuple& t) {
+  QOCO_DCHECK_EQ(t.size(), arity_);
   if (membership_.contains(t)) return false;
   uint32_t pos = static_cast<uint32_t>(rows_.size());
   rows_.push_back(t);
@@ -23,6 +33,12 @@ bool Relation::Insert(const Tuple& t) {
 }
 
 bool Relation::Erase(const Tuple& t) {
+  std::optional<ITuple> ids = FindTuple(t, *dict_);
+  if (!ids.has_value()) return false;
+  return EraseIds(*ids);
+}
+
+bool Relation::EraseIds(const ITuple& t) {
   auto it = membership_.find(t);
   if (it == membership_.end()) return false;
   uint32_t pos = it->second;
@@ -45,31 +61,31 @@ bool Relation::Erase(const Tuple& t) {
   return true;
 }
 
-void Relation::RemovePosting(size_t column, const Value& v, uint32_t pos) {
-  auto& index = column_index_[column];
-  auto it = index.find(v);
-  QOCO_DCHECK(it != index.end())
-      << "no posting list for " << v.ToString() << " in column " << column;
-  std::vector<uint32_t>& list = it->second;
-  auto slot = std::find(list.begin(), list.end(), pos);
-  QOCO_DCHECK(slot != list.end())
+void Relation::RemovePosting(size_t column, ValueId id, uint32_t pos) {
+  IdPostingMap& index = column_index_[column];
+  std::vector<uint32_t>* list = index.Find(id);
+  QOCO_DCHECK(list != nullptr) << "no posting list for "
+                               << dict_->ToString(id) << " in column "
+                               << column;
+  auto slot = std::find(list->begin(), list->end(), pos);
+  QOCO_DCHECK(slot != list->end())
       << "position " << pos << " missing from the posting list of "
-      << v.ToString() << " in column " << column;
-  *slot = list.back();
-  list.pop_back();
-  if (list.empty()) index.erase(it);
+      << dict_->ToString(id) << " in column " << column;
+  *slot = list->back();
+  list->pop_back();
+  if (list->empty()) index.Erase(id);
 }
 
-void Relation::RepointPosting(size_t column, const Value& v, uint32_t from,
+void Relation::RepointPosting(size_t column, ValueId id, uint32_t from,
                               uint32_t to) {
-  auto it = column_index_[column].find(v);
-  QOCO_DCHECK(it != column_index_[column].end())
-      << "no posting list for " << v.ToString() << " in column " << column;
-  std::vector<uint32_t>& list = it->second;
-  auto slot = std::find(list.begin(), list.end(), from);
-  QOCO_DCHECK(slot != list.end())
+  std::vector<uint32_t>* list = column_index_[column].Find(id);
+  QOCO_DCHECK(list != nullptr) << "no posting list for "
+                               << dict_->ToString(id) << " in column "
+                               << column;
+  auto slot = std::find(list->begin(), list->end(), from);
+  QOCO_DCHECK(slot != list->end())
       << "position " << from << " missing from the posting list of "
-      << v.ToString() << " in column " << column;
+      << dict_->ToString(id) << " in column " << column;
   *slot = to;
 }
 
@@ -79,35 +95,47 @@ void Relation::WarmIndexes() const {
 
 void Relation::EnsureIndex(size_t column) const {
   if (index_valid_[column]) return;
-  auto& index = column_index_[column];
-  index.clear();
+  IdPostingMap& index = column_index_[column];
+  index.Clear();
   for (uint32_t pos = 0; pos < rows_.size(); ++pos) {
     index[rows_[pos][column]].push_back(pos);
   }
   index_valid_[column] = true;
 }
 
+const std::vector<uint32_t>& Relation::RowsWithId(size_t column,
+                                                  ValueId id) const {
+  EnsureIndex(column);
+  const std::vector<uint32_t>* list = column_index_[column].Find(id);
+  return list != nullptr ? *list : kEmptyRows;
+}
+
 const std::vector<uint32_t>& Relation::RowsWithValue(size_t column,
                                                      const Value& v) const {
-  EnsureIndex(column);
-  auto it = column_index_[column].find(v);
-  if (it == column_index_[column].end()) return kEmptyRows;
-  return it->second;
+  std::optional<ValueId> id = dict_->Find(v);
+  if (!id.has_value()) {
+    EnsureIndex(column);
+    return kEmptyRows;
+  }
+  return RowsWithId(column, *id);
+}
+
+size_t Relation::CountRowsWithId(size_t column, ValueId id) const {
+  return RowsWithId(column, id).size();
 }
 
 size_t Relation::CountRowsWithValue(size_t column, const Value& v) const {
-  EnsureIndex(column);
-  auto it = column_index_[column].find(v);
-  return it == column_index_[column].end() ? 0 : it->second.size();
+  return RowsWithValue(column, v).size();
 }
 
 std::vector<Value> Relation::ColumnDomain(size_t column) const {
   EnsureIndex(column);
   std::vector<Value> domain;
   domain.reserve(column_index_[column].size());
-  for (const auto& [value, rows] : column_index_[column]) {
-    domain.push_back(value);
-  }
+  column_index_[column].ForEach(
+      [&](ValueId id, const std::vector<uint32_t>&) {
+        domain.push_back(dict_->Materialize(id));
+      });
   std::sort(domain.begin(), domain.end());
   return domain;
 }
@@ -115,13 +143,26 @@ std::vector<Value> Relation::ColumnDomain(size_t column) const {
 common::Status Relation::AuditInvariants() const {
   common::InvariantAuditor audit("relational::Relation");
 
+  // Every stored id must decode through the shared dictionary: a dangling
+  // slot id (beyond the table) or a sentinel in a row is corruption.
+  for (uint32_t pos = 0; pos < rows_.size(); ++pos) {
+    for (size_t col = 0; col < rows_[pos].size(); ++col) {
+      ValueId id = rows_[pos][col];
+      if (!dict_->IsValidId(id)) {
+        audit.Violation() << "row " << pos << " column " << col
+                          << " holds orphan id " << id
+                          << " with no dictionary entry";
+      }
+    }
+  }
+
   // Row store <-> membership map round-trip.
   if (membership_.size() != rows_.size()) {
     audit.Violation() << "membership has " << membership_.size()
                       << " entries for " << rows_.size() << " rows";
   }
   for (uint32_t pos = 0; pos < rows_.size(); ++pos) {
-    const Tuple& row = rows_[pos];
+    const ITuple& row = rows_[pos];
     if (row.size() != arity_) {
       audit.Violation() << "row " << pos << " has arity " << row.size()
                         << ", relation arity is " << arity_;
@@ -129,12 +170,11 @@ common::Status Relation::AuditInvariants() const {
     }
     auto it = membership_.find(row);
     if (it == membership_.end()) {
-      audit.Violation() << "row " << pos << " " << TupleToString(row)
-                        << " is missing from the membership map";
+      audit.Violation() << "row " << pos << " is missing from the membership"
+                        << " map";
     } else if (it->second != pos) {
-      audit.Violation() << "membership points " << TupleToString(row)
-                        << " at position " << it->second << ", stored at "
-                        << pos;
+      audit.Violation() << "membership points row at position " << it->second
+                        << ", stored at " << pos;
     }
   }
 
@@ -145,32 +185,34 @@ common::Status Relation::AuditInvariants() const {
   for (size_t col = 0; col < arity_; ++col) {
     if (!index_valid_[col]) continue;
     size_t postings = 0;
-    for (const auto& [value, list] : column_index_[col]) {
+    column_index_[col].ForEach([&](ValueId id,
+                                   const std::vector<uint32_t>& list) {
       if (list.empty()) {
         audit.Violation() << "column " << col
                           << " keeps an empty posting list for "
-                          << value.ToString();
+                          << dict_->ToString(id);
       }
       postings += list.size();
       std::vector<uint32_t> sorted = list;
       std::sort(sorted.begin(), sorted.end());
       if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
         audit.Violation() << "column " << col << " posting list of "
-                          << value.ToString() << " holds duplicate positions";
+                          << dict_->ToString(id)
+                          << " holds duplicate positions";
       }
       for (uint32_t pos : list) {
         if (pos >= rows_.size()) {
           audit.Violation() << "column " << col << " posting list of "
-                            << value.ToString() << " holds stale position "
+                            << dict_->ToString(id) << " holds stale position "
                             << pos << " (only " << rows_.size() << " rows)";
-        } else if (rows_[pos][col] != value) {
+        } else if (rows_[pos][col] != id) {
           audit.Violation() << "column " << col << " posting list of "
-                            << value.ToString() << " lists position " << pos
-                            << " whose value is "
-                            << rows_[pos][col].ToString();
+                            << dict_->ToString(id) << " lists position "
+                            << pos << " whose value is "
+                            << dict_->ToString(rows_[pos][col]);
         }
       }
-    }
+    });
     if (postings != rows_.size()) {
       audit.Violation() << "column " << col << " indexes " << postings
                         << " postings for " << rows_.size() << " rows";

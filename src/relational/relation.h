@@ -6,22 +6,30 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/relational/id_posting_map.h"
 #include "src/relational/tuple.h"
+#include "src/relational/value_dictionary.h"
+#include "src/relational/value_id.h"
 
 namespace qoco::relational {
 
-/// A finite relation instance with set semantics.
+/// A finite relation instance with set semantics, stored in id space: rows
+/// are ITuples of dictionary-interned ValueIds (see value_dictionary.h), so
+/// membership, joins and index probes are integer compares — no string
+/// bytes, no variant dispatch. The Value-typed entry points intern (Insert)
+/// or probe without interning (Contains/Erase/RowsWithValue) and exist for
+/// the boundaries; hot paths use the *Id twins.
 ///
 /// Besides membership and insert/erase, a Relation maintains lazily-built
-/// per-column hash indexes (value -> row positions) that the query evaluator
-/// uses to drive index nested-loop joins. Once built, an index is
-/// *incrementally maintained* across Insert/Erase: insertions append the new
-/// row position to the matching posting list, and the swap-remove performed
-/// by Erase patches the two affected posting lists in place. An index is
-/// therefore built at most once over the relation's lifetime, and the
-/// posting lists returned by RowsWithValue stay valid until the next
-/// mutation of this relation (building indexes for *other* columns does not
-/// invalidate them).
+/// per-column indexes (ValueId -> row positions; IdPostingMap) that the
+/// query evaluator uses to drive index nested-loop joins. Once built, an
+/// index is *incrementally maintained* across Insert/Erase: insertions
+/// append the new row position to the matching posting list, and the
+/// swap-remove performed by Erase patches the two affected posting lists in
+/// place. An index is therefore built at most once over the relation's
+/// lifetime, and the posting lists returned by RowsWithId stay valid until
+/// the next mutation of this relation (building indexes for *other* columns
+/// does not invalidate them).
 ///
 /// Invariants while index_valid_[c] holds:
 ///  * column_index_[c][v] lists exactly the positions p with rows_[p][c] == v
@@ -30,46 +38,70 @@ namespace qoco::relational {
 ///    so ColumnDomain can read the key set directly.
 class Relation {
  public:
-  /// Constructs an empty relation of the given arity.
-  explicit Relation(size_t arity)
-      : arity_(arity), column_index_(arity), index_valid_(arity, false) {}
+  /// Constructs an empty relation of the given arity over `dict`, which
+  /// must outlive the relation (it is owned by the Catalog).
+  Relation(size_t arity, ValueDictionary* dict)
+      : arity_(arity),
+        dict_(dict),
+        column_index_(arity),
+        index_valid_(arity, false) {}
 
   size_t arity() const { return arity_; }
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  /// True iff `t` is in the relation. Precondition: t.size() == arity().
-  bool Contains(const Tuple& t) const { return membership_.contains(t); }
+  /// The dictionary this relation's ids live in.
+  ValueDictionary& dict() const { return *dict_; }
 
-  /// Inserts `t`; returns true if newly inserted (set semantics).
-  /// Precondition: t.size() == arity().
+  /// True iff `t` is in the relation. Non-interning: a tuple with any
+  /// value absent from the dictionary is stored nowhere. Precondition:
+  /// t.size() == arity().
+  bool Contains(const Tuple& t) const;
+  bool ContainsIds(const ITuple& t) const { return membership_.contains(t); }
+
+  /// Inserts `t`, interning its values; returns true if newly inserted
+  /// (set semantics). Precondition: t.size() == arity(). Mutates the
+  /// shared dictionary — coordinator-side only (see ValueDictionary).
   bool Insert(const Tuple& t);
+  bool InsertIds(const ITuple& t);
 
-  /// Erases `t`; returns true if it was present.
+  /// Erases `t`; returns true if it was present. Non-interning.
   bool Erase(const Tuple& t);
+  bool EraseIds(const ITuple& t);
 
-  /// All tuples, in insertion order (stable across erases of other tuples
-  /// only up to the swap-remove performed internally; treat as unordered).
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// All rows in id space, in insertion order (stable across erases of
+  /// other tuples only up to the swap-remove performed internally; treat as
+  /// unordered). Materialize per row with MaterializeRow / MaterializeTuple
+  /// at boundaries.
+  const std::vector<ITuple>& rows() const { return rows_; }
 
-  /// Row positions whose `column` equals `v`. The returned reference is
-  /// valid until the next mutation of this relation; probing other columns
-  /// (or other relations) does not invalidate it. Precondition:
-  /// column < arity().
+  /// The values of row `pos`. Precondition: pos < size().
+  Tuple MaterializeRow(size_t pos) const {
+    return MaterializeTuple(rows_[pos], *dict_);
+  }
+
+  /// Row positions whose `column` equals the value behind `id`. The
+  /// returned reference is valid until the next mutation of this relation;
+  /// probing other columns (or other relations) does not invalidate it.
+  /// Precondition: column < arity().
+  const std::vector<uint32_t>& RowsWithId(size_t column, ValueId id) const;
+
+  /// Value-typed probe (non-interning) for boundary callers.
   const std::vector<uint32_t>& RowsWithValue(size_t column,
                                              const Value& v) const;
 
-  /// Number of rows whose `column` equals `v`. Equivalent to
-  /// RowsWithValue(column, v).size(); spelled out so call sites that only
-  /// need a cardinality (e.g. join-order scoring) don't read as if they
-  /// materialized anything. Precondition: column < arity().
+  /// Number of rows whose `column` equals the value behind `id`.
+  /// Equivalent to RowsWithId(column, id).size(); spelled out so call sites
+  /// that only need a cardinality (e.g. join-order scoring) don't read as
+  /// if they materialized anything. Precondition: column < arity().
+  size_t CountRowsWithId(size_t column, ValueId id) const;
   size_t CountRowsWithValue(size_t column, const Value& v) const;
 
-  /// Distinct values appearing in `column`.
+  /// Distinct values appearing in `column`, in value order.
   std::vector<Value> ColumnDomain(size_t column) const;
 
-  /// Builds every per-column index that is not built yet. RowsWithValue and
-  /// CountRowsWithValue build indexes lazily on first probe, which mutates
+  /// Builds every per-column index that is not built yet. RowsWithId and
+  /// CountRowsWithId build indexes lazily on first probe, which mutates
   /// `mutable` state under a const call — fine single-threaded, a data race
   /// once concurrent readers probe the same cold column. Parallel
   /// evaluation therefore warms all indexes from the coordinating thread
@@ -77,9 +109,10 @@ class Relation {
   /// immutable-between-mutations state.
   void WarmIndexes() const;
 
-  /// Deep audit of every class invariant: membership round-trips through
-  /// the row store, every built posting list entry matches its row (no
-  /// stale positions left behind by the swap-remove maintenance), no
+  /// Deep audit of every class invariant: every row id materializes through
+  /// the dictionary (no dangling/orphan ids), membership round-trips
+  /// through the row store, every built posting list entry matches its row
+  /// (no stale positions left behind by the swap-remove maintenance), no
   /// posting list is empty, and per built column the posting counts cover
   /// the rows exactly once. O(rows × arity) plus hashing; meant for debug
   /// builds, fuzz checkpoints, and the corruption-injection tests — not the
@@ -92,24 +125,23 @@ class Relation {
   friend struct RelationCorruptor;
   void EnsureIndex(size_t column) const;
 
-  /// Removes position `pos` from the posting list of `v` in `column`'s
+  /// Removes position `pos` from the posting list of `id` in `column`'s
   /// (built) index, erasing the key if the list empties.
-  void RemovePosting(size_t column, const Value& v, uint32_t pos);
+  void RemovePosting(size_t column, ValueId id, uint32_t pos);
 
   /// Rewrites the occurrence of position `from` to `to` in the posting
-  /// list of `v` in `column`'s (built) index.
-  void RepointPosting(size_t column, const Value& v, uint32_t from,
-                      uint32_t to);
+  /// list of `id` in `column`'s (built) index.
+  void RepointPosting(size_t column, ValueId id, uint32_t from, uint32_t to);
 
   size_t arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> membership_;
+  ValueDictionary* dict_;
+  std::vector<ITuple> rows_;
+  std::unordered_map<ITuple, uint32_t, ITupleHash> membership_;
 
   // Per-column indexes, built on first use (mutable for build-on-demand)
   // and maintained incrementally afterwards. Sized to arity_ up front so a
   // build never reallocates the outer vector mid-evaluation.
-  mutable std::vector<std::unordered_map<Value, std::vector<uint32_t>,
-                                         ValueHash>> column_index_;
+  mutable std::vector<IdPostingMap> column_index_;
   mutable std::vector<bool> index_valid_;
 
   static const std::vector<uint32_t> kEmptyRows;

@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/relational/tuple.h"
+#include "src/relational/value_dictionary.h"
 
 namespace qoco::relational {
 
@@ -21,7 +22,9 @@ struct RelationSchema {
 /// The catalog maps relation names to ids and stores each relation's schema.
 ///
 /// A Catalog is shared by a dirty database D and its ground truth DG so that
-/// facts, queries and edits refer to relations by the same ids.
+/// facts, queries and edits refer to relations by the same ids. It also owns
+/// the ValueDictionary interning every value of every instance over it, so
+/// ValueIds are comparable across D and DG.
 class Catalog {
  public:
   Catalog() = default;
@@ -55,9 +58,17 @@ class Catalog {
     return id >= 0 && static_cast<size_t>(id) < schemas_.size();
   }
 
+  /// The value-interning table shared by every Database over this catalog.
+  /// Mutable through a const Catalog because interning new values (query
+  /// constants at parse time, oracle-supplied values at insert time) is a
+  /// cache fill, not a schema change; see ValueDictionary for the threading
+  /// contract.
+  ValueDictionary& dict() const { return dict_; }
+
  private:
   std::vector<RelationSchema> schemas_;
   std::unordered_map<std::string, RelationId> by_name_;
+  mutable ValueDictionary dict_;
 };
 
 }  // namespace qoco::relational

@@ -1,0 +1,213 @@
+#ifndef QOCO_RELATIONAL_VALUE_ID_H_
+#define QOCO_RELATIONAL_VALUE_ID_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+
+#include "src/common/strings.h"
+#include "src/relational/tuple.h"
+
+namespace qoco::relational {
+
+/// Dense 32-bit handle for an interned Value (see ValueDictionary). The
+/// encoding packs the common cases into the id itself so the dictionary is
+/// only consulted for strings, doubles, and out-of-range integers:
+///
+///   0x00000000                null (the monostate Value)
+///   0x00000001..0x7FFFFFFF    dictionary slot + 1 (strings, doubles,
+///                             integers outside the inline range)
+///   0x80000000..0xBFFFFFFF    inline integer: 0x80000000 | v for
+///                             v in [0, 2^30)
+///   0xFFFFFFFE                kAbsentConstant: a query constant that is
+///                             not interned, hence equal to no stored value
+///   0xFFFFFFFF                kInvalidId: unbound / no value
+///
+/// Two interned values are equal iff their ids are equal (the dictionary
+/// interns each distinct value once), so the join, witness dedup, and fact
+/// caches compare ids with a single integer compare. Id *order* is
+/// meaningless: every ordering-sensitive consumer goes through
+/// ValueDictionary::Compare, which reproduces Value's variant order.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kNullId = 0;
+inline constexpr ValueId kInvalidId = 0xFFFFFFFFu;
+inline constexpr ValueId kAbsentConstant = 0xFFFFFFFEu;
+
+/// Inline-integer range: [0, 2^30). The ceiling leaves the two sentinel
+/// ids (and the rest of 0xC0000000..) unreachable by any encoder.
+inline constexpr int64_t kMaxInlineInt = (int64_t{1} << 30) - 1;
+inline constexpr ValueId kInlineBit = 0x80000000u;
+
+inline constexpr bool FitsInline(int64_t v) {
+  return v >= 0 && v <= kMaxInlineInt;
+}
+inline constexpr ValueId MakeInlineInt(int64_t v) {
+  return kInlineBit | static_cast<ValueId>(v);
+}
+inline constexpr bool IsInlineInt(ValueId id) {
+  return id >= kInlineBit && id <= (kInlineBit | kMaxInlineInt);
+}
+inline constexpr int64_t InlineIntOf(ValueId id) {
+  return static_cast<int64_t>(id & ~kInlineBit);
+}
+inline constexpr bool IsDictSlot(ValueId id) {
+  return id >= 1 && id <= 0x7FFFFFFFu;
+}
+inline constexpr uint32_t SlotOf(ValueId id) { return id - 1; }
+inline constexpr ValueId IdOfSlot(uint32_t slot) { return slot + 1; }
+
+/// Mixes an id into a well-distributed hash (splitmix-style finalizer).
+/// Ids are dense small integers; identity hashing would pile collisions
+/// into the low buckets of power-of-two tables.
+inline size_t HashValueId(ValueId id) {
+  uint64_t x = id;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+
+/// The storage row format: an array of ValueIds with a small inline buffer
+/// sized for every workload arity (soccer's Games has 5 columns), spilling
+/// to the heap beyond that. Equality is a length check plus a flat integer
+/// compare — no variant dispatch, no string bytes.
+///
+/// ITuple deliberately has no operator<: raw-id order is interning order,
+/// which must never leak into transcripts. Ordering-sensitive code sorts
+/// through ValueDictionary::Compare (see IdTupleLess in value_dictionary.h).
+class ITuple {
+ public:
+  static constexpr size_t kInlineCapacity = 6;
+
+  ITuple() = default;
+  ITuple(size_t n, ValueId fill) {
+    for (size_t i = 0; i < n; ++i) push_back(fill);
+  }
+  ITuple(std::initializer_list<ValueId> ids) {
+    for (ValueId id : ids) push_back(id);
+  }
+  ITuple(const ITuple& other) { CopyFrom(other); }
+  ITuple& operator=(const ITuple& other) {
+    if (this != &other) {
+      size_ = 0;
+      heap_.reset();
+      heap_capacity_ = 0;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  ITuple(ITuple&& other) noexcept
+      : size_(other.size_),
+        heap_(std::move(other.heap_)),
+        heap_capacity_(other.heap_capacity_) {
+    std::copy(other.inline_, other.inline_ + kInlineCapacity, inline_);
+    other.size_ = 0;
+    other.heap_capacity_ = 0;
+  }
+  ITuple& operator=(ITuple&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      heap_ = std::move(other.heap_);
+      heap_capacity_ = other.heap_capacity_;
+      std::copy(other.inline_, other.inline_ + kInlineCapacity, inline_);
+      other.size_ = 0;
+      other.heap_capacity_ = 0;
+    }
+    return *this;
+  }
+  ~ITuple() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const ValueId* data() const { return heap_ ? heap_.get() : inline_; }
+  ValueId* data() { return heap_ ? heap_.get() : inline_; }
+
+  ValueId operator[](size_t i) const { return data()[i]; }
+  ValueId& operator[](size_t i) { return data()[i]; }
+
+  const ValueId* begin() const { return data(); }
+  const ValueId* end() const { return data() + size_; }
+
+  void push_back(ValueId id) {
+    if (heap_ == nullptr) {
+      if (size_ < kInlineCapacity) {
+        inline_[size_++] = id;
+        return;
+      }
+      Spill(kInlineCapacity * 2);
+    } else if (size_ == heap_capacity_) {
+      Spill(heap_capacity_ * 2);
+    }
+    heap_[size_++] = id;
+  }
+
+  friend bool operator==(const ITuple& a, const ITuple& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data(), a.data() + a.size_, b.data());
+  }
+  friend bool operator!=(const ITuple& a, const ITuple& b) {
+    return !(a == b);
+  }
+
+ private:
+  void CopyFrom(const ITuple& other) {
+    if (other.size_ > kInlineCapacity) {
+      heap_ = std::make_unique<ValueId[]>(other.size_);
+      heap_capacity_ = other.size_;
+      std::copy(other.data(), other.data() + other.size_, heap_.get());
+    } else {
+      std::copy(other.data(), other.data() + other.size_, inline_);
+    }
+    size_ = other.size_;
+  }
+
+  void Spill(uint32_t new_capacity) {
+    auto grown = std::make_unique<ValueId[]>(new_capacity);
+    std::copy(data(), data() + size_, grown.get());
+    heap_ = std::move(grown);
+    heap_capacity_ = new_capacity;
+  }
+
+  uint32_t size_ = 0;
+  ValueId inline_[kInlineCapacity] = {};
+  std::unique_ptr<ValueId[]> heap_;
+  uint32_t heap_capacity_ = 0;
+};
+
+struct ITupleHash {
+  size_t operator()(const ITuple& t) const {
+    size_t seed = t.size();
+    for (ValueId id : t) common::HashCombine(&seed, HashValueId(id));
+    return seed;
+  }
+};
+
+/// A fact in id space: the hot-path twin of relational::Fact. Equality is
+/// ids-only; like ITuple it has no operator< (see IdFactLess).
+struct IFact {
+  RelationId relation = kInvalidRelation;
+  ITuple tuple;
+
+  friend bool operator==(const IFact& a, const IFact& b) {
+    return a.relation == b.relation && a.tuple == b.tuple;
+  }
+  friend bool operator!=(const IFact& a, const IFact& b) { return !(a == b); }
+};
+
+struct IFactHash {
+  size_t operator()(const IFact& f) const {
+    size_t seed = static_cast<size_t>(f.relation);
+    common::HashCombine(&seed, ITupleHash{}(f.tuple));
+    return seed;
+  }
+};
+
+}  // namespace qoco::relational
+
+#endif  // QOCO_RELATIONAL_VALUE_ID_H_

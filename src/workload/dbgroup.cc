@@ -183,7 +183,8 @@ common::Result<DbGroupData> MakeDbGroupData(const DbGroupParams& params) {
   // for "tal" the membership row is gone too -> 5 + 1 = 6 insertions.
   for (const char* m : kTripMembers) {
     // Find the trip row in DG to erase its copy from D.
-    for (const Tuple& row : g->relation(data.trips).rows()) {
+    for (const relational::ITuple& irow : g->relation(data.trips).rows()) {
+      Tuple row = relational::MaterializeTuple(irow, g->dict());
       if (row[0] == Value(m) && row[3] == Value("ERC")) {
         QOCO_RETURN_NOT_OK(d->Erase(Fact{data.trips, row}).status());
         break;

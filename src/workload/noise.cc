@@ -125,7 +125,8 @@ common::Status PlantWrongAnswersByNoise(const query::CQuery& q,
     if (donor.witnesses.empty()) continue;
     const provenance::Witness& witness =
         donor.witnesses[rng->Index(donor.witnesses.size())];
-    Fact fact = witness.facts()[rng->Index(witness.facts().size())];
+    Fact fact = relational::MaterializeFact(
+        witness.facts()[rng->Index(witness.facts().size())], *witness.dict());
     size_t column = rng->Index(fact.tuple.size());
     std::vector<Value> domain =
         ground_truth.relation(fact.relation).ColumnDomain(column);
@@ -180,7 +181,8 @@ common::Status PlantWrongAnswersByNoise(const query::CQuery& q,
     if (donor == nullptr || donor->witnesses.empty()) continue;
     const provenance::Witness& witness =
         donor->witnesses[rng->Index(donor->witnesses.size())];
-    Fact fact = witness.facts()[rng->Index(witness.facts().size())];
+    Fact fact = relational::MaterializeFact(
+        witness.facts()[rng->Index(witness.facts().size())], *witness.dict());
     size_t column = rng->Index(fact.tuple.size());
     std::vector<Value> domain =
         ground_truth.relation(fact.relation).ColumnDomain(column);
@@ -210,12 +212,14 @@ common::Status RemoveAnswerByDeletion(const query::CQuery& q, Database* db,
     if (info == nullptr) return common::Status::OK();
 
     // Collateral of deleting fact f: the number of *other* answers all of
-    // whose witnesses contain f.
-    std::vector<Fact> candidates = provenance::DistinctFacts(info->witnesses);
-    const Fact* best = nullptr;
+    // whose witnesses contain f. Containment checks run on ids; only the
+    // fact finally erased is materialized.
+    std::vector<relational::IFact> candidates =
+        provenance::DistinctFacts(info->witnesses, db->dict());
+    const relational::IFact* best = nullptr;
     size_t best_collateral = 0;
     size_t best_coverage = 0;
-    for (const Fact& fact : candidates) {
+    for (const relational::IFact& fact : candidates) {
       size_t collateral = 0;
       for (const query::AnswerInfo& other : result.answers()) {
         if (other.tuple == victim) continue;
@@ -240,7 +244,8 @@ common::Status RemoveAnswerByDeletion(const query::CQuery& q, Database* db,
       }
     }
     if (best == nullptr) return common::Status::OK();
-    QOCO_RETURN_NOT_OK(db->Erase(*best).status());
+    QOCO_RETURN_NOT_OK(
+        db->Erase(relational::MaterializeFact(*best, db->dict())).status());
   }
   return common::Status::Internal("failed to remove planted missing answer");
 }

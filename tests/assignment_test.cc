@@ -29,12 +29,14 @@ class AssignmentTest : public ::testing::Test {
     q_ = std::make_unique<CQuery>(std::move(q).value());
   }
 
+  relational::ValueDictionary* dict() { return &catalog_.dict(); }
+
   relational::Catalog catalog_;
   std::unique_ptr<CQuery> q_;
 };
 
 TEST_F(AssignmentTest, BindUnbindAndCount) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   EXPECT_EQ(a.NumBound(), 0u);
   EXPECT_FALSE(a.IsBound(0));
   a.Bind(0, Value("v"));
@@ -47,7 +49,7 @@ TEST_F(AssignmentTest, BindUnbindAndCount) {
 }
 
 TEST_F(AssignmentTest, ResolveTerms) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   EXPECT_EQ(*a.Resolve(Term::MakeConst(Value(5))), Value(5));
   EXPECT_FALSE(a.Resolve(Term::MakeVar(0)).has_value());
   a.Bind(0, Value("v"));
@@ -55,7 +57,7 @@ TEST_F(AssignmentTest, ResolveTerms) {
 }
 
 TEST_F(AssignmentTest, GroundAtomRequiresAllTerms) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   a.Bind(0, Value("p"));
   EXPECT_FALSE(a.GroundAtom(q_->atoms()[0]).has_value());
   a.Bind(1, Value("q"));
@@ -65,7 +67,7 @@ TEST_F(AssignmentTest, GroundAtomRequiresAllTerms) {
 }
 
 TEST_F(AssignmentTest, InequalityThreeValued) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   const Inequality& var_var = q_->inequalities()[0];   // x != y
   const Inequality& var_const = q_->inequalities()[1];  // x != 'c'
   EXPECT_FALSE(a.CheckInequality(var_var).has_value());
@@ -77,7 +79,7 @@ TEST_F(AssignmentTest, InequalityThreeValued) {
 }
 
 TEST_F(AssignmentTest, ApplyHead) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   EXPECT_FALSE(a.ApplyHead(q_->head()).has_value());
   a.Bind(0, Value("p"));
   a.Bind(1, Value("q"));
@@ -87,7 +89,7 @@ TEST_F(AssignmentTest, ApplyHead) {
 }
 
 TEST_F(AssignmentTest, BindsAll) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   EXPECT_FALSE(a.BindsAll(q_->BodyVars()));
   a.Bind(0, Value("p"));
   a.Bind(1, Value("q"));
@@ -96,8 +98,8 @@ TEST_F(AssignmentTest, BindsAll) {
 }
 
 TEST_F(AssignmentTest, CompatibilityAndMerge) {
-  Assignment a(3);
-  Assignment b(3);
+  Assignment a(3, dict());
+  Assignment b(3, dict());
   a.Bind(0, Value(1));
   b.Bind(1, Value(2));
   EXPECT_TRUE(a.CompatibleWith(b));
@@ -106,9 +108,9 @@ TEST_F(AssignmentTest, CompatibilityAndMerge) {
   b.Bind(0, Value(9));
   EXPECT_FALSE(a.CompatibleWith(b));
 
-  Assignment merged(3);
+  Assignment merged(3, dict());
   merged.MergeFrom(a);
-  Assignment c(3);
+  Assignment c(3, dict());
   c.Bind(2, Value(3));
   merged.MergeFrom(c);
   EXPECT_TRUE(merged.IsBound(0));
@@ -117,8 +119,8 @@ TEST_F(AssignmentTest, CompatibilityAndMerge) {
 }
 
 TEST_F(AssignmentTest, CompatibilityWithDifferentSizes) {
-  Assignment narrow(1);
-  Assignment wide(4);
+  Assignment narrow(1, dict());
+  Assignment wide(4, dict());
   narrow.Bind(0, Value("x"));
   wide.Bind(0, Value("x"));
   wide.Bind(3, Value("z"));
@@ -129,7 +131,7 @@ TEST_F(AssignmentTest, CompatibilityWithDifferentSizes) {
 }
 
 TEST_F(AssignmentTest, ToStringShowsBoundVarsByName) {
-  Assignment a(q_->num_vars());
+  Assignment a(q_->num_vars(), dict());
   a.Bind(0, Value("GER"));
   std::string text = a.ToString(*q_);
   EXPECT_NE(text.find("x -> GER"), std::string::npos);
@@ -137,8 +139,8 @@ TEST_F(AssignmentTest, ToStringShowsBoundVarsByName) {
 }
 
 TEST_F(AssignmentTest, Equality) {
-  Assignment a(2);
-  Assignment b(2);
+  Assignment a(2, dict());
+  Assignment b(2, dict());
   EXPECT_EQ(a, b);
   a.Bind(0, Value(1));
   EXPECT_FALSE(a == b);

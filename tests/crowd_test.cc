@@ -48,7 +48,7 @@ TEST_F(SimulatedOracleTest, AnswerQuestions) {
 TEST_F(SimulatedOracleTest, CompleteExtendsSatisfiablePartials) {
   auto q_t = s_->q2.InstantiateAnswer(Tuple{Value("Andrea Pirlo")});
   ASSERT_TRUE(q_t.ok());
-  query::Assignment empty(q_t->num_vars());
+  query::Assignment empty(q_t->num_vars(), &s_->ground_truth->dict());
   std::optional<query::Assignment> completion =
       oracle_->Complete(*q_t, empty);
   ASSERT_TRUE(completion.has_value());
@@ -65,7 +65,9 @@ TEST_F(SimulatedOracleTest, CompleteReturnsNullForUnsatisfiable) {
   ASSERT_TRUE(q_t.ok());
   // Totti scored no goal in DG: no witness exists.
   EXPECT_FALSE(
-      oracle_->Complete(*q_t, query::Assignment(q_t->num_vars())).has_value());
+      oracle_->Complete(*q_t, query::Assignment(q_t->num_vars(),
+                                                  &s_->ground_truth->dict()))
+          .has_value());
 }
 
 TEST_F(SimulatedOracleTest, MissingAnswerEnumerates) {
@@ -206,7 +208,7 @@ TEST(CrowdPanelTest, CompleteCountsFilledVariables) {
   CrowdPanel panel({&oracle}, PanelConfig{1});
   auto q_t = s.q2.InstantiateAnswer(Tuple{Value("Andrea Pirlo")});
   ASSERT_TRUE(q_t.ok());
-  query::Assignment empty(q_t->num_vars());
+  query::Assignment empty(q_t->num_vars(), &s.ground_truth->dict());
   auto completion = panel.Complete(*q_t, empty);
   ASSERT_TRUE(completion.has_value());
   // Q2|Pirlo has 6 variables; the oracle filled all of them.
@@ -224,7 +226,7 @@ TEST(CrowdPanelTest, VerifyPartialBodySkipsNonGroundAtoms) {
   ASSERT_TRUE(q_t.ok());
   // Bind only y (the team): Teams(ITA, EU) becomes ground and true; other
   // atoms stay non-ground and cost nothing.
-  query::Assignment partial(q_t->num_vars());
+  query::Assignment partial(q_t->num_vars(), &s.ground_truth->dict());
   for (query::VarId v = 0; v < static_cast<query::VarId>(q_t->num_vars());
        ++v) {
     if (q_t->var_name(v) == "y") partial.Bind(v, Value("ITA"));
@@ -233,7 +235,7 @@ TEST(CrowdPanelTest, VerifyPartialBodySkipsNonGroundAtoms) {
   EXPECT_EQ(panel.counts().verify_fact, 1u);
 
   // Binding y to a wrong continent team makes the ground fact false.
-  query::Assignment bad(q_t->num_vars());
+  query::Assignment bad(q_t->num_vars(), &s.ground_truth->dict());
   for (query::VarId v = 0; v < static_cast<query::VarId>(q_t->num_vars());
        ++v) {
     if (q_t->var_name(v) == "y") bad.Bind(v, Value("BRA"));
@@ -253,7 +255,8 @@ TEST(CrowdPanelTest, ImperfectCompletionRejectedByVerification) {
   CrowdPanel panel({&liar, &honest1, &honest2}, PanelConfig{3});
   auto q_t = s.q2.InstantiateAnswer(Tuple{Value("Andrea Pirlo")});
   ASSERT_TRUE(q_t.ok());
-  auto completion = panel.Complete(*q_t, query::Assignment(q_t->num_vars()));
+  auto completion = panel.Complete(
+      *q_t, query::Assignment(q_t->num_vars(), &s.ground_truth->dict()));
   ASSERT_TRUE(completion.has_value());
   for (const query::Atom& atom : q_t->atoms()) {
     std::optional<Fact> fact = completion->GroundAtom(atom);

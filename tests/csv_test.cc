@@ -31,7 +31,7 @@ TEST_F(CsvTest, RoundTripPreservesTypes) {
   ASSERT_TRUE(LoadRelationFromCsv(csv, r_, &reloaded).ok());
   EXPECT_EQ(reloaded.Distance(*db_), 0u);
   // Types survived: the count column is int, ratio is double.
-  const Tuple& row = reloaded.relation(r_).rows().front();
+  const Tuple row = reloaded.relation(r_).MaterializeRow(0);
   EXPECT_TRUE(row[1].is_int());
   EXPECT_TRUE(row[2].is_double());
 }
@@ -49,7 +49,8 @@ TEST_F(CsvTest, QuotingOfSpecialStrings) {
   EXPECT_EQ(reloaded.Distance(*db_), 0u);
   // The numeric-looking string stayed a string after the round trip.
   bool found_string_123 = false;
-  for (const Tuple& row : reloaded.relation(r_).rows()) {
+  for (const ITuple& irow : reloaded.relation(r_).rows()) {
+    Tuple row = MaterializeTuple(irow, reloaded.dict());
     if (row[0].is_string() && row[0].AsString() == "123") {
       found_string_123 = true;
     }

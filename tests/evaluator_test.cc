@@ -108,11 +108,11 @@ TEST_F(EvaluatorTest, FindExtensionsHonorsPartialAndLimit) {
   }
   Evaluator eval(db_.get());
   CQuery q = Parse("(a, b) :- R(a, b).");
-  Assignment partial(q.num_vars());
+  Assignment partial(q.num_vars(), &db_->dict());
   partial.Bind(0, Value("k"));
   EXPECT_EQ(eval.FindExtensions(q, partial, 0).size(), 5u);
   EXPECT_EQ(eval.FindExtensions(q, partial, 2).size(), 2u);
-  Assignment bad(q.num_vars());
+  Assignment bad(q.num_vars(), &db_->dict());
   bad.Bind(0, Value("missing"));
   EXPECT_TRUE(eval.FindExtensions(q, bad, 0).empty());
   EXPECT_FALSE(eval.IsSatisfiable(q, bad));
@@ -124,7 +124,7 @@ TEST_F(EvaluatorTest, PartialAssignmentNarrowerThanQuerySpace) {
   Evaluator eval(db_.get());
   CQuery q = Parse("(a, b) :- R(a, b).");
   // A partial over fewer vars is widened transparently.
-  Assignment narrow(1);
+  Assignment narrow(1, &db_->dict());
   narrow.Bind(0, Value("k"));
   EXPECT_EQ(eval.FindExtensions(q, narrow, 0).size(), 1u);
 }
@@ -184,7 +184,7 @@ std::set<Tuple> BruteForce(const CQuery& q, const Database& db) {
   std::vector<size_t> choice(vars.size(), 0);
   if (domain.empty()) return answers;
   while (true) {
-    Assignment a(q.num_vars());
+    Assignment a(q.num_vars(), &db.dict());
     for (size_t i = 0; i < vars.size(); ++i) {
       a.Bind(vars[i], domain[choice[i]]);
     }

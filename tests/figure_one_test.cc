@@ -123,11 +123,11 @@ TEST_F(FigureOneTest, Example54SubquerySplitAssignmentCounts) {
 
   query::Evaluator eval(s_->dirty.get());
   std::vector<query::Assignment> prime = eval.FindExtensions(
-      q_prime, query::Assignment(q2_pirlo->num_vars()), 0);
+      q_prime, query::Assignment(q2_pirlo->num_vars(), &s_->dirty->dict()), 0);
   // One valid assignment for Q' w.r.t. D (the 2006 final witness chain).
   EXPECT_EQ(prime.size(), 1u);
   std::vector<query::Assignment> second = eval.FindExtensions(
-      q_second, query::Assignment(q2_pirlo->num_vars()), 0);
+      q_second, query::Assignment(q2_pirlo->num_vars(), &s_->dirty->dict()), 0);
   // Three valid assignments for Q'': GER, ESP, BRA.
   EXPECT_EQ(second.size(), 3u);
 }

@@ -51,8 +51,13 @@ void ExpectSameResult(const EvalResult& view, const EvalResult& expected,
 
     provenance::WitnessSet got_w = got.witnesses;
     provenance::WitnessSet want_w = want.witnesses;
-    std::sort(got_w.begin(), got_w.end());
-    std::sort(want_w.begin(), want_w.end());
+    if (!got_w.empty() || !want_w.empty()) {
+      const provenance::Witness& any =
+          got_w.empty() ? want_w.front() : got_w.front();
+      provenance::WitnessLess less{any.dict()};
+      std::sort(got_w.begin(), got_w.end(), less);
+      std::sort(want_w.begin(), want_w.end(), less);
+    }
     ASSERT_EQ(got_w == want_w, true)
         << context << ": witness sets differ for answer "
         << relational::TupleToString(got.tuple);
@@ -224,7 +229,7 @@ void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
     const relational::Relation& instance = db->relation(rel);
     bool do_erase = !instance.empty() && rng->Chance(0.5);
     if (do_erase) {
-      Fact victim{rel, instance.rows()[rng->Index(instance.size())]};
+      Fact victim{rel, instance.MaterializeRow(rng->Index(instance.size()))};
       ASSERT_TRUE(db->Erase(victim).ok()) << "erase failed";
       view.OnErase(victim);
       erased_pool.push_back(std::move(victim));
@@ -234,10 +239,10 @@ void FuzzQuery(const CQuery& q, Database* db, const Database& reference,
       if (!erased_pool.empty() && dice < 0.4) {
         fresh = erased_pool[rng->Index(erased_pool.size())];
       } else if (dice < 0.7 && !reference.relation(rel).empty()) {
-        const auto& rows = reference.relation(rel).rows();
-        fresh = Fact{rel, rows[rng->Index(rows.size())]};
+        const relational::Relation& ref_rel = reference.relation(rel);
+        fresh = Fact{rel, ref_rel.MaterializeRow(rng->Index(ref_rel.size()))};
       } else if (!instance.empty()) {
-        Tuple t = instance.rows()[rng->Index(instance.size())];
+        Tuple t = instance.MaterializeRow(rng->Index(instance.size()));
         size_t col = rng->Index(t.size());
         std::vector<Value> domain = reference.relation(rel).ColumnDomain(col);
         if (!domain.empty()) t[col] = domain[rng->Index(domain.size())];

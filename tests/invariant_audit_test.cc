@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -29,13 +30,19 @@ struct RelationCorruptor {
   static void BuildIndex(const Relation& r, size_t column) {
     r.EnsureIndex(column);
   }
+  // Interns `v` through the relation's dictionary on the way in: corruption
+  // tests plant postings under values ("ghost") that no stored row carries.
   static std::vector<uint32_t>& Postings(const Relation& r, size_t column,
                                          const Value& v) {
-    return r.column_index_[column][v];  // mutable member; creates if absent
+    // mutable member; creates the posting list if absent
+    return r.column_index_[column][r.dict_->Intern(v)];
   }
-  static std::unordered_map<Tuple, uint32_t, TupleHash>& Membership(
+  static std::unordered_map<ITuple, uint32_t, ITupleHash>& Membership(
       Relation& r) {
     return r.membership_;
+  }
+  static ITuple Ids(const Relation& r, const Tuple& t) {
+    return InternTuple(t, r.dict_);
   }
   // Databases only hand out const relations; the corruptor is the one place
   // allowed to break that seal.
@@ -46,8 +53,8 @@ struct RelationCorruptor {
 
 namespace {
 
-Relation MakeIndexedRelation() {
-  Relation r(2);
+Relation MakeIndexedRelation(ValueDictionary* dict) {
+  Relation r(2, dict);
   r.Insert({Value("a"), Value(1)});
   r.Insert({Value("a"), Value(2)});
   r.Insert({Value("b"), Value(2)});
@@ -67,7 +74,8 @@ void ExpectViolation(const common::Status& s, const std::string& needle) {
 }
 
 TEST(RelationAuditTest, CleanRelationPassesAfterMixedMutations) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   EXPECT_TRUE(r.AuditInvariants().ok());
 
   // Exercise the swap-remove maintenance: erase from the middle and the
@@ -82,13 +90,15 @@ TEST(RelationAuditTest, CleanRelationPassesAfterMixedMutations) {
 }
 
 TEST(RelationAuditTest, DetectsStalePostingPosition) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   RelationCorruptor::Postings(r, 0, Value("a")).push_back(99);
   ExpectViolation(r.AuditInvariants(), "stale position 99");
 }
 
 TEST(RelationAuditTest, DetectsPostingUnderWrongValue) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   // Move row 3's posting ("c") under "b": the audit must flag the value
   // mismatch (and the now-dangling coverage of "c").
   std::vector<uint32_t>& from = RelationCorruptor::Postings(r, 0, Value("c"));
@@ -99,29 +109,34 @@ TEST(RelationAuditTest, DetectsPostingUnderWrongValue) {
 }
 
 TEST(RelationAuditTest, DetectsDuplicatePosting) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   std::vector<uint32_t>& list = RelationCorruptor::Postings(r, 0, Value("a"));
   list.push_back(list.front());
   ExpectViolation(r.AuditInvariants(), "duplicate positions");
 }
 
 TEST(RelationAuditTest, DetectsEmptyPostingList) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   // operator[] creates the empty list the erase path must never leave.
   RelationCorruptor::Postings(r, 1, Value("ghost"));
   ExpectViolation(r.AuditInvariants(), "empty posting list");
 }
 
 TEST(RelationAuditTest, DetectsMembershipPointingAtWrongRow) {
-  Relation r = MakeIndexedRelation();
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
   auto& membership = RelationCorruptor::Membership(r);
-  membership[Tuple{Value("a"), Value(1)}] = 3;
+  membership[RelationCorruptor::Ids(r, Tuple{Value("a"), Value(1)})] = 3;
   ExpectViolation(r.AuditInvariants(), "membership points");
 }
 
 TEST(RelationAuditTest, DetectsMissingMembershipEntry) {
-  Relation r = MakeIndexedRelation();
-  RelationCorruptor::Membership(r).erase(Tuple{Value("b"), Value(2)});
+  ValueDictionary dict;
+  Relation r = MakeIndexedRelation(&dict);
+  RelationCorruptor::Membership(r).erase(
+      RelationCorruptor::Ids(r, Tuple{Value("b"), Value(2)}));
   ExpectViolation(r.AuditInvariants(), "missing from the membership map");
 }
 
@@ -223,7 +238,8 @@ TEST_F(IncrementalViewAuditTest, DetectsAnswerThatSurvivedGcEmpty) {
 TEST_F(IncrementalViewAuditTest, DetectsPhantomWitnessOverAbsentFact) {
   IncrementalView view(Parse("(a) :- R(a, b), S(b)."), db_.get());
   EvalResult& cached = IncrementalViewCorruptor::Result(view);
-  provenance::Witness phantom({Fact{s_, {Value("never-inserted")}}});
+  provenance::Witness phantom(
+      std::vector<Fact>{Fact{s_, {Value("never-inserted")}}}, &db_->dict());
   cached.mutable_answers()[0].witnesses.push_back(std::move(phantom));
   ExpectViolation(view.AuditInvariants(), "absent fact");
 }

@@ -15,29 +15,36 @@ using relational::Fact;
 using relational::Value;
 
 TEST(WitnessTest, SortsAndDeduplicates) {
+  relational::ValueDictionary dict;
   Fact a{0, {Value("a")}};
   Fact b{0, {Value("b")}};
-  Witness w({b, a, b});
+  Witness w(std::vector<Fact>{b, a, b}, &dict);
   ASSERT_EQ(w.size(), 2u);
-  EXPECT_EQ(w.facts()[0], a);
-  EXPECT_EQ(w.facts()[1], b);
-  EXPECT_TRUE(w.Contains(a));
-  EXPECT_FALSE(w.Contains(Fact{1, {Value("a")}}));
+  EXPECT_EQ(relational::MaterializeFact(w.facts()[0], dict), a);
+  EXPECT_EQ(relational::MaterializeFact(w.facts()[1], dict), b);
+  EXPECT_TRUE(w.Contains(relational::InternFact(a, &dict)));
+  EXPECT_FALSE(
+      w.Contains(relational::InternFact(Fact{1, {Value("a")}}, &dict)));
 }
 
 TEST(WitnessTest, EqualityIsContentBased) {
+  relational::ValueDictionary dict;
   Fact a{0, {Value("a")}};
   Fact b{0, {Value("b")}};
-  EXPECT_EQ(Witness({a, b}), Witness({b, a}));
-  EXPECT_NE(Witness({a}), Witness({b}));
+  EXPECT_EQ(Witness(std::vector<Fact>{a, b}, &dict),
+            Witness(std::vector<Fact>{b, a}, &dict));
+  EXPECT_NE(Witness(std::vector<Fact>{a}, &dict),
+            Witness(std::vector<Fact>{b}, &dict));
 }
 
 TEST(WitnessTest, DistinctFactsAcrossWitnessSet) {
+  relational::ValueDictionary dict;
   Fact a{0, {Value("a")}};
   Fact b{0, {Value("b")}};
   Fact c{0, {Value("c")}};
-  WitnessSet witnesses{Witness({a, b}), Witness({b, c})};
-  std::vector<Fact> distinct = DistinctFacts(witnesses);
+  WitnessSet witnesses{Witness(std::vector<Fact>{a, b}, &dict),
+                       Witness(std::vector<Fact>{b, c}, &dict)};
+  std::vector<relational::IFact> distinct = DistinctFacts(witnesses, dict);
   EXPECT_EQ(distinct.size(), 3u);
 }
 

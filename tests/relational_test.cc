@@ -57,7 +57,8 @@ TEST(ValueTest, HashDistinguishesTypes) {
 }
 
 TEST(RelationTest, SetSemantics) {
-  Relation r(2);
+  ValueDictionary dict;
+  Relation r(2, &dict);
   EXPECT_TRUE(r.Insert({Value(1), Value("a")}));
   EXPECT_FALSE(r.Insert({Value(1), Value("a")}));  // duplicate
   EXPECT_EQ(r.size(), 1u);
@@ -66,7 +67,8 @@ TEST(RelationTest, SetSemantics) {
 }
 
 TEST(RelationTest, EraseWithSwapRemoveKeepsMembershipConsistent) {
-  Relation r(1);
+  ValueDictionary dict;
+  Relation r(1, &dict);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.Insert({Value(i)}));
   ASSERT_TRUE(r.Erase({Value(0)}));   // head: swap-removed with tail
   ASSERT_TRUE(r.Erase({Value(9)}));
@@ -80,7 +82,8 @@ TEST(RelationTest, EraseWithSwapRemoveKeepsMembershipConsistent) {
 }
 
 TEST(RelationTest, ColumnIndexFindsRows) {
-  Relation r(2);
+  ValueDictionary dict;
+  Relation r(2, &dict);
   ASSERT_TRUE(r.Insert({Value("a"), Value(1)}));
   ASSERT_TRUE(r.Insert({Value("a"), Value(2)}));
   ASSERT_TRUE(r.Insert({Value("b"), Value(3)}));
@@ -91,7 +94,8 @@ TEST(RelationTest, ColumnIndexFindsRows) {
 }
 
 TEST(RelationTest, IndexInvalidatedByMutation) {
-  Relation r(1);
+  ValueDictionary dict;
+  Relation r(1, &dict);
   ASSERT_TRUE(r.Insert({Value("x")}));
   EXPECT_EQ(r.RowsWithValue(0, Value("x")).size(), 1u);
   ASSERT_TRUE(r.Erase({Value("x")}));
@@ -103,7 +107,8 @@ TEST(RelationTest, IndexInvalidatedByMutation) {
 }
 
 TEST(RelationTest, ColumnDomainSortedDistinct) {
-  Relation r(1);
+  ValueDictionary dict;
+  Relation r(1, &dict);
   ASSERT_TRUE(r.Insert({Value("b")}));
   ASSERT_TRUE(r.Insert({Value("a")}));
   ASSERT_TRUE(r.Insert({Value("c")}));

@@ -44,31 +44,37 @@ TEST_F(SoccerTest, ScaleIsComparableToThePaper) {
 TEST_F(SoccerTest, ReferentialIntegrity) {
   const Database& db = *data_->ground_truth;
   std::set<Value> teams;
-  for (const Tuple& row : db.relation(data_->teams).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->teams).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     teams.insert(row[0]);
   }
   std::set<Value> players;
-  for (const Tuple& row : db.relation(data_->players).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->players).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     players.insert(row[0]);
     EXPECT_TRUE(teams.contains(row[1])) << "player with unknown team";
   }
   std::set<Value> stages;
   std::set<Value> dates;
-  for (const Tuple& row : db.relation(data_->stages).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->stages).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     stages.insert(row[0]);
   }
-  for (const Tuple& row : db.relation(data_->games).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->games).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     EXPECT_TRUE(teams.contains(row[1])) << "unknown winner";
     EXPECT_TRUE(teams.contains(row[2])) << "unknown runner-up";
     EXPECT_TRUE(stages.contains(row[3])) << "unknown stage";
     EXPECT_NE(row[1], row[2]) << "team plays itself";
     dates.insert(row[0]);
   }
-  for (const Tuple& row : db.relation(data_->goals).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->goals).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     EXPECT_TRUE(players.contains(row[0])) << "unknown scorer";
     EXPECT_TRUE(dates.contains(row[1])) << "goal on a date with no game";
   }
-  for (const Tuple& row : db.relation(data_->clubs).rows()) {
+  for (const relational::ITuple& irow : db.relation(data_->clubs).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, db.dict());
     EXPECT_TRUE(players.contains(row[0])) << "club stint of unknown player";
   }
 }
@@ -77,7 +83,8 @@ TEST_F(SoccerTest, GameDatesAreUniquePerGame) {
   // Dates are join keys between Games and Goals; two games must never
   // share a date.
   std::set<Value> dates;
-  for (const Tuple& row : data_->ground_truth->relation(data_->games).rows()) {
+  for (const relational::ITuple& irow : data_->ground_truth->relation(data_->games).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, data_->ground_truth->dict());
     EXPECT_TRUE(dates.insert(row[0]).second)
         << "duplicate game date " << row[0].ToString();
   }
@@ -85,7 +92,8 @@ TEST_F(SoccerTest, GameDatesAreUniquePerGame) {
 
 TEST_F(SoccerTest, EveryTournamentHasOneFinalPerYear) {
   std::set<std::string> final_years;
-  for (const Tuple& row : data_->ground_truth->relation(data_->games).rows()) {
+  for (const relational::ITuple& irow : data_->ground_truth->relation(data_->games).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, data_->ground_truth->dict());
     if (row[3] == Value("Final")) {
       std::string year = row[0].AsString().substr(6);  // DD.MM.YY
       EXPECT_TRUE(final_years.insert(year).second)
@@ -123,7 +131,8 @@ TEST_F(SoccerTest, QueryThreeExcludesAsianTeams) {
   ASSERT_TRUE(q.ok());
   query::Evaluator eval(data_->ground_truth.get());
   std::set<Value> asian;
-  for (const Tuple& row : data_->ground_truth->relation(data_->teams).rows()) {
+  for (const relational::ITuple& irow : data_->ground_truth->relation(data_->teams).rows()) {
+    Tuple row = relational::MaterializeTuple(irow, data_->ground_truth->dict());
     if (row[1] == Value("AS")) asian.insert(row[0]);
   }
   for (const Tuple& answer : eval.Evaluate(*q).AnswerTuples()) {

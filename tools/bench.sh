@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Regenerates every BENCH_*.json measurement artifact in the repo root from
+# a Release build. Usage: tools/bench.sh [build-dir] (default: build).
+#
+#   BENCH_incremental.json  full-reeval vs delta-maintained edit loop
+#   BENCH_parallel.json     serial-vs-N-threads sweep (self-verifying)
+#   BENCH_intern.json       dictionary-encoded storage engine before/after
+#
+# Repetitions are pinned (kReps below, aggregates only) so reruns on the
+# same host are comparable. The "before" half of BENCH_intern.json comes
+# from bench/baseline_pre_intern.json — numbers captured from the last
+# pre-interning revision on the same host; rerunning this script refreshes
+# only the "after" half. Capture a fresh baseline by building the
+# pre-interning revision in a worktree and running its perf_microbench /
+# perf_dbgroup with the same pinned flags.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+kReps=3
+kPinnedFlags=(--benchmark_repetitions="$kReps"
+              --benchmark_report_aggregates_only=true
+              --benchmark_out_format=json)
+
+for bin in perf_microbench perf_dbgroup parallel_sweep; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "bench.sh: $BUILD/bench/$bin missing; build the bench targets first" >&2
+    exit 1
+  fi
+done
+if ! grep -q 'CMAKE_BUILD_TYPE:[^=]*=Release' "$BUILD/CMakeCache.txt"; then
+  echo "bench.sh: $BUILD is not a Release build; numbers would be garbage" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== BENCH_incremental.json"
+"$BUILD/bench/perf_microbench" \
+  --benchmark_filter='EditLoop' \
+  --benchmark_out=BENCH_incremental.json --benchmark_out_format=json
+
+echo "== BENCH_intern.json (after half)"
+"$BUILD/bench/perf_microbench" \
+  --benchmark_filter='EvaluateSoccerQuery|EditLoop|EndToEnd|ValueHash|TupleCompare|InternProbe' \
+  "${kPinnedFlags[@]}" --benchmark_out="$tmpdir/after_micro.json"
+"$BUILD/bench/perf_dbgroup" \
+  "${kPinnedFlags[@]}" --benchmark_out="$tmpdir/after_dbgroup.json"
+
+python3 - "$tmpdir" <<'EOF'
+import json, sys
+
+tmpdir = sys.argv[1]
+
+kToNs = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def means(path):
+    out = {}
+    with open(path) as f:
+        data = json.load(f)
+    for b in data.get("benchmarks", []):
+        name = b["name"]
+        if name.endswith("_mean"):
+            scale = kToNs[b.get("time_unit", "ns")]
+            out[name[: -len("_mean")]] = b["real_time"] * scale
+    return out, data.get("context", {})
+
+before, before_ctx = means("bench/baseline_pre_intern.json")
+after, after_ctx = means(f"{tmpdir}/after_micro.json")
+after_db, _ = means(f"{tmpdir}/after_dbgroup.json")
+after.update(after_db)
+
+comparisons, after_only = [], []
+for name in sorted(after):
+    if name in before:
+        comparisons.append({
+            "name": name,
+            "before_ns": round(before[name], 1),
+            "after_ns": round(after[name], 1),
+            "speedup": round(before[name] / after[name], 3),
+        })
+    else:
+        after_only.append({"name": name, "ns": round(after[name], 1)})
+
+out = {
+    "context": {
+        "note": "dictionary-encoded storage engine: pre-interning engine "
+                "(bench/baseline_pre_intern.json) vs current tree; "
+                "real_time means, ns",
+        "before_date": before_ctx.get("date"),
+        "after_date": after_ctx.get("date"),
+        "host": after_ctx.get("host_name"),
+        "repetitions": 3,
+    },
+    "comparisons": comparisons,
+    "after_only": after_only,
+}
+with open("BENCH_intern.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+for c in comparisons:
+    print(f"  {c['name']:42s} {c['speedup']:6.2f}x")
+EOF
+
+echo "== BENCH_parallel.json"
+"$BUILD/bench/parallel_sweep" BENCH_parallel.json
+
+echo "bench.sh: wrote BENCH_incremental.json BENCH_intern.json BENCH_parallel.json"

@@ -15,6 +15,11 @@
 #      common::ThreadPool so the determinism contract and the TSan matrix
 #      see every thread. (std::this_thread, std::thread::id, and
 #      std::vector<std::thread> member declarations are fine.)
+#   5. No temporary-key lookups: calling find/count/contains/at/erase with a
+#      freshly constructed std::string allocates per probe. String-keyed
+#      maps in this codebase are transparent (common::StringHash +
+#      std::equal_to<>), so pass the string_view / char* directly.
+#      (std::string_view construction never matches.)
 #
 # tools/lint.sh --self-test exercises the rule regexes against known
 # positives/negatives and exits nonzero if any of them drifts.
@@ -28,25 +33,40 @@ cd "$(dirname "$0")/.."
 # alternative allows a following ':' or '>'.
 thread_ctor_re='std::j?thread[[:space:]]*[({]|std::j?thread[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]'
 
+# Rule 5 regex: a lookup-style member call whose key argument is a freshly
+# constructed std::string. `std::string_view(...)` never matches ("string"
+# must be followed by '('), and plain `.find(name)` on an existing string
+# is fine — the ban is on the allocating temporary.
+temp_key_re='\.(find|count|contains|at|erase)[[:space:]]*\([[:space:]]*std::string[[:space:]]*\('
+
 if [[ "${1:-}" == "--self-test" ]]; then
   fails=0
-  expect() { # 1=should-match|0=should-not-match, 2=line
-    if [[ "$1" == 1 ]]; then
-      grep -qE "$thread_ctor_re" <<<"$2" \
-        || { echo "self-test: missed positive: $2" >&2; fails=$((fails+1)); }
+  expect() { # 1=regex-var-name, 2=1=should-match|0=should-not, 3=line
+    local -n re=$1
+    if [[ "$2" == 1 ]]; then
+      grep -qE "$re" <<<"$3" \
+        || { echo "self-test: missed positive: $3" >&2; fails=$((fails+1)); }
     else
-      grep -qE "$thread_ctor_re" <<<"$2" \
-        && { echo "self-test: false positive: $2" >&2; fails=$((fails+1)); }
+      grep -qE "$re" <<<"$3" \
+        && { echo "self-test: false positive: $3" >&2; fails=$((fails+1)); }
     fi
   }
-  expect 1 'std::thread t(fn);'
-  expect 1 'std::thread worker_1{[] {}};'
-  expect 1 'std::thread(fn).detach();'
-  expect 1 'std::jthread t(fn);'
-  expect 0 'std::thread::id ran_on;'
-  expect 0 'EXPECT_EQ(ran_on, std::this_thread::get_id());'
-  expect 0 'std::vector<std::thread> workers_;'
-  expect 0 'unsigned n = std::thread::hardware_concurrency();'
+  expect thread_ctor_re 1 'std::thread t(fn);'
+  expect thread_ctor_re 1 'std::thread worker_1{[] {}};'
+  expect thread_ctor_re 1 'std::thread(fn).detach();'
+  expect thread_ctor_re 1 'std::jthread t(fn);'
+  expect thread_ctor_re 0 'std::thread::id ran_on;'
+  expect thread_ctor_re 0 'EXPECT_EQ(ran_on, std::this_thread::get_id());'
+  expect thread_ctor_re 0 'std::vector<std::thread> workers_;'
+  expect thread_ctor_re 0 'unsigned n = std::thread::hardware_concurrency();'
+  expect temp_key_re 1 'auto it = slots_.find(std::string(s));'
+  expect temp_key_re 1 'if (names.count(std::string(view)) > 0) {'
+  expect temp_key_re 1 'map.contains( std::string(line.substr(3)) )'
+  expect temp_key_re 1 'index.erase(std::string(key));'
+  expect temp_key_re 0 'auto it = slots_.find(s);'
+  expect temp_key_re 0 'auto it = slots_.find(std::string_view(s));'
+  expect temp_key_re 0 'std::string name(common::StripWhitespace(line));'
+  expect temp_key_re 0 'out.find(needle) != std::string::npos'
   [[ $fails -gt 0 ]] && { echo "lint self-test: $fails failure(s)" >&2; exit 1; }
   echo "lint self-test: ok"
   exit 0
@@ -110,6 +130,12 @@ for f in "${files[@]}"; do
  common::ThreadPool (src/common/thread_pool.h)"
     done < <(strip_comments "$f" | grep -nE "$thread_ctor_re" | cut -d: -f1)
   fi
+
+  # Rule 5: temporary-key lookups into string-keyed maps.
+  while IFS= read -r hit; do
+    report "$f:$hit: lookup with a std::string temporary; string-keyed maps\
+ are transparent (common::StringHash) — pass the string_view directly"
+  done < <(strip_comments "$f" | grep -nE "$temp_key_re" | cut -d: -f1)
 done
 
 if [[ $failures -gt 0 ]]; then
