@@ -1,5 +1,7 @@
 #include "src/cleaning/cleaner.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <set>
 
@@ -26,10 +28,21 @@ common::Result<CleanerStats> QocoCleaner::Run() {
   }
   InsertionConfig insertion_config = config_.insertion;
   insertion_config.pool = pool;
+  const query::EvalMode eval_mode = config_.optimizer
+                                        ? query::EvalMode::kCostBased
+                                        : query::EvalMode::kLegacyGreedy;
   query::Evaluator evaluator(db_, pool);
+  evaluator.set_mode(eval_mode);
+  // EXPLAIN hook: dump the session query's plan once, before any edit,
+  // when the environment asks for it. Diagnostics only — stderr, so
+  // transcripts on stdout stay untouched.
+  if (const char* flag = std::getenv("QOCO_EXPLAIN");
+      flag != nullptr && flag[0] == '1') {
+    std::fputs(evaluator.ExplainPlan(q_).c_str(), stderr);
+  }
   // Incremental path: pay full-query cost once here, delta cost per edit.
   std::optional<query::IncrementalView> view;
-  if (config_.incremental_eval) view.emplace(q_, db_, pool);
+  if (config_.incremental_eval) view.emplace(q_, db_, pool, eval_mode);
   // The refreshed view after the edits applied so far.
   auto current_answers = [&]() {
     return view.has_value() ? view->result().AnswerTuples()

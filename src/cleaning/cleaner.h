@@ -41,6 +41,14 @@ struct CleanerConfig {
   /// false, every round re-evaluates Q from scratch — the pre-incremental
   /// behavior, kept for A/B verification and ablation.
   bool incremental_eval = true;
+  /// When true (the default), unlimited query evaluations run under the
+  /// cost-based planner (explicit root choice + semi-join reduction,
+  /// query::EvalMode::kCostBased); when false, the pre-planner adaptive
+  /// engine (kLegacyGreedy) runs instead — kept for A/B verification.
+  /// Transcripts are bit-identical either way; only evaluation time
+  /// changes. Set QOCO_EXPLAIN=1 to dump each session's query plan to
+  /// stderr once at startup.
+  bool optimizer = true;
   /// Worker threads for parallel query evaluation and candidate scoring.
   /// 0 (the default) resolves via ThreadPool::ResolveNumThreads: the
   /// QOCO_THREADS environment variable if set, else hardware_concurrency.

@@ -1,6 +1,8 @@
 #include "src/cleaning/union_cleaner.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <set>
 
@@ -100,11 +102,23 @@ common::Result<CleanerStats> UnionCleaner::Run() {
     pool_storage.emplace(config_.num_threads);
     pool_ = &*pool_storage;
   }
+  const query::EvalMode eval_mode = config_.optimizer
+                                        ? query::EvalMode::kCostBased
+                                        : query::EvalMode::kLegacyGreedy;
   query::Evaluator evaluator(db_, pool_);
+  evaluator.set_mode(eval_mode);
+  // EXPLAIN hook: one plan dump per disjunct, before any edit, when the
+  // environment asks for it (stderr only; transcripts stay untouched).
+  if (const char* flag = std::getenv("QOCO_EXPLAIN");
+      flag != nullptr && flag[0] == '1') {
+    for (const query::CQuery& disjunct : q_.disjuncts()) {
+      std::fputs(evaluator.ExplainPlan(disjunct).c_str(), stderr);
+    }
+  }
   // Incremental path: one materialized view per disjunct, delta-maintained
   // across every edit of the session (see query::IncrementalUnionView).
   std::optional<query::IncrementalUnionView> view;
-  if (config_.incremental_eval) view.emplace(q_, db_, pool_);
+  if (config_.incremental_eval) view.emplace(q_, db_, pool_, eval_mode);
   union_view_ = view.has_value() ? &*view : nullptr;
   auto current_answers = [&]() {
     return view.has_value() ? view->AnswerTuples()

@@ -1,0 +1,139 @@
+#include "src/query/column_stats.h"
+
+#include <algorithm>
+
+#include "src/common/invariant.h"
+
+namespace qoco::query {
+
+namespace {
+
+using relational::IsInlineInt;
+using relational::Relation;
+using relational::ValueId;
+
+/// floor(log2(n)) for n >= 1, clamped to the histogram width.
+size_t Log2Bucket(size_t n) {
+  size_t b = 0;
+  while (n > 1 && b + 1 < 32) {
+    n >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+ColumnStats::ColumnStats(const relational::Database* db)
+    : db_(db), relations_(db->catalog().size()) {}
+
+RelationSummary ColumnStats::Compute(const Relation& rel) {
+  RelationSummary summary;
+  summary.version = rel.version();
+  summary.rows = rel.size();
+  summary.columns.resize(rel.arity());
+  for (size_t col = 0; col < rel.arity(); ++col) {
+    ColumnSummary& c = summary.columns[col];
+    const relational::IdPostingMap& postings = rel.ColumnPostings(col);
+    c.distinct = postings.size();
+    c.avg_posting = c.distinct == 0
+                        ? 0.0
+                        : static_cast<double>(rel.size()) /
+                              static_cast<double>(c.distinct);
+    postings.ForEach([&](ValueId id, const std::vector<uint32_t>& list) {
+      c.max_posting = std::max(c.max_posting, list.size());
+      ++c.log2_histogram[Log2Bucket(list.size())];
+      if (IsInlineInt(id)) {
+        int64_t v = relational::InlineIntOf(id);
+        if (!c.has_ints) {
+          c.has_ints = true;
+          c.int_min = c.int_max = v;
+        } else {
+          c.int_min = std::min(c.int_min, v);
+          c.int_max = std::max(c.int_max, v);
+        }
+      }
+    });
+    c.domain = postings.SortedKeys();
+  }
+  return summary;
+}
+
+const RelationSummary& ColumnStats::ForRelation(
+    relational::RelationId id) const {
+  RelationSummary& cached = relations_[static_cast<size_t>(id)];
+  const Relation& rel = db_->relation(id);
+  if (cached.version != rel.version()) {
+    cached = Compute(rel);
+    ++refreshes_;
+  }
+  return cached;
+}
+
+common::Status ColumnStats::AuditInvariants() const {
+  common::InvariantAuditor audit("query::ColumnStats");
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    const RelationSummary& cached = relations_[i];
+    const Relation& rel =
+        db_->relation(static_cast<relational::RelationId>(i));
+    if (cached.version == kStaleStatsVersion) continue;  // Never computed.
+    if (cached.version != rel.version()) continue;       // Stale by design.
+    const std::string& name =
+        db_->catalog().relation_name(static_cast<relational::RelationId>(i));
+    // The snapshot claims freshness: it must equal a recomputation.
+    RelationSummary fresh = Compute(rel);
+    if (cached.rows != fresh.rows) {
+      audit.Violation() << name << ": snapshot stamped fresh counts "
+                        << cached.rows << " rows, relation has "
+                        << fresh.rows;
+    }
+    if (cached.columns.size() != fresh.columns.size()) {
+      audit.Violation() << name << ": snapshot has "
+                        << cached.columns.size() << " column summaries for "
+                        << fresh.columns.size() << " columns";
+      continue;
+    }
+    for (size_t col = 0; col < fresh.columns.size(); ++col) {
+      const ColumnSummary& a = cached.columns[col];
+      const ColumnSummary& b = fresh.columns[col];
+      if (a.distinct != b.distinct) {
+        audit.Violation() << name << " column " << col
+                          << ": stale distinct count " << a.distinct
+                          << " (live: " << b.distinct << ")";
+      }
+      if (a.max_posting != b.max_posting) {
+        audit.Violation() << name << " column " << col
+                          << ": stale max posting " << a.max_posting
+                          << " (live: " << b.max_posting << ")";
+      }
+      if (a.avg_posting != b.avg_posting) {
+        audit.Violation() << name << " column " << col
+                          << ": stale avg posting " << a.avg_posting
+                          << " (live: " << b.avg_posting << ")";
+      }
+      if (a.log2_histogram != b.log2_histogram) {
+        audit.Violation() << name << " column " << col
+                          << ": stale posting-size histogram";
+      }
+      if (a.has_ints != b.has_ints || a.int_min != b.int_min ||
+          a.int_max != b.int_max) {
+        audit.Violation() << name << " column " << col
+                          << ": stale inline-int range";
+      }
+      if (a.domain != b.domain) {
+        audit.Violation() << name << " column " << col
+                          << ": stale domain (" << a.domain.size()
+                          << " ids cached, " << b.domain.size() << " live)";
+      }
+      if (!std::is_sorted(a.domain.begin(), a.domain.end()) ||
+          std::adjacent_find(a.domain.begin(), a.domain.end()) !=
+              a.domain.end()) {
+        audit.Violation() << name << " column " << col
+                          << ": domain is not strictly ascending";
+      }
+    }
+  }
+  return audit.Finish();
+}
+
+}  // namespace qoco::query

@@ -1,0 +1,107 @@
+#ifndef QOCO_QUERY_COLUMN_STATS_H_
+#define QOCO_QUERY_COLUMN_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/value_id.h"
+
+namespace qoco::query {
+
+/// Per-column summary derived from one walk over a relation's posting-list
+/// index (relational::Relation::ColumnPostings): everything the cost-based
+/// planner needs to estimate candidate counts without touching row data.
+struct ColumnSummary {
+  /// Number of distinct values (= posting lists) in the column.
+  size_t distinct = 0;
+  /// Largest posting-list length: the worst-case candidate count of an
+  /// equality probe into this column.
+  size_t max_posting = 0;
+  /// rows / distinct — the expected candidate count of an equality probe
+  /// with an unknown key (0 for an empty column).
+  double avg_posting = 0.0;
+  /// log2 posting-size histogram: bucket i counts posting lists p with
+  /// floor(log2(|p|)) == i. Exposes skew the average hides (a column with
+  /// one huge and many tiny lists plans differently from a uniform one).
+  std::array<uint32_t, 32> log2_histogram{};
+  /// Inline-integer value range over the column (has_ints false when no
+  /// inline-int id appears). Dictionary-slot ids carry no order, so only
+  /// the inline-encoded integers contribute.
+  bool has_ints = false;
+  int64_t int_min = 0;
+  int64_t int_max = 0;
+  /// Every distinct id of the column, sorted by raw id. Raw-id order is
+  /// interning order — deterministic because interning is coordinator-side
+  /// only — so these vectors are stable set representations: the semi-join
+  /// reduction intersects them across atoms sharing a variable
+  /// (relational::IntersectSortedIds). Never display-ordered.
+  std::vector<relational::ValueId> domain;
+};
+
+/// Stats snapshot of one relation, stamped with the Relation::version() it
+/// was computed at. kStaleStatsVersion marks never-computed entries; any
+/// mismatch with the live relation's version invalidates the snapshot.
+inline constexpr uint64_t kStaleStatsVersion = ~uint64_t{0};
+
+struct RelationSummary {
+  uint64_t version = kStaleStatsVersion;
+  size_t rows = 0;
+  std::vector<ColumnSummary> columns;
+};
+
+/// Lazily maintained per-relation column statistics over a Database.
+///
+/// ForRelation() returns the cached snapshot when its stamped version
+/// matches the live Relation::version(), and recomputes it otherwise — so
+/// edits invalidate stats for free (the relation bumps its version; the
+/// next plan rebuilds the one summary that moved) and a quiet database
+/// plans out of pure cache. Recomputing walks the relation's posting-list
+/// indexes, which WarmIndexes() has typically already built.
+///
+/// Threading: refresh mutates cached state under a const call, exactly like
+/// Relation's lazy index build — reads must come from the coordinating
+/// thread. The planner honors this by only planning on the coordinator
+/// (worker shards receive the finished Plan by reference).
+class ColumnStats {
+ public:
+  /// `db` must outlive the stats (the Evaluator owns both lifetimes).
+  explicit ColumnStats(const relational::Database* db);
+
+  const relational::Database* db() const { return db_; }
+
+  /// The (fresh) summary for `id`. Precondition: the id is valid for the
+  /// database's catalog. The reference is valid until the next ForRelation
+  /// call that refreshes the same relation.
+  const RelationSummary& ForRelation(relational::RelationId id) const;
+
+  /// Number of snapshot recomputations so far — tests assert laziness
+  /// (no edit → no refresh) and invalidation (edit → exactly one).
+  size_t refreshes() const { return refreshes_; }
+
+  /// Deep audit: every snapshot whose stamp claims freshness (version
+  /// matches the live relation) must equal a from-scratch recomputation —
+  /// distinct counts, extrema, histogram, int ranges, and the sorted
+  /// domain, which must also be strictly ascending. A snapshot that is
+  /// merely stale is fine (laziness is the design), but a snapshot that
+  /// *claims* freshness and lies means some mutation path forgot to bump
+  /// Relation::version(). Returns OK or kInternal listing every violation.
+  common::Status AuditInvariants() const;
+
+ private:
+  // Test-only backdoor used by the corruption-injection tests to seed
+  // invariant violations (tests/planner_test.cc).
+  friend struct ColumnStatsCorruptor;
+
+  static RelationSummary Compute(const relational::Relation& rel);
+
+  const relational::Database* db_;
+  mutable std::vector<RelationSummary> relations_;
+  mutable size_t refreshes_ = 0;
+};
+
+}  // namespace qoco::query
+
+#endif  // QOCO_QUERY_COLUMN_STATS_H_

@@ -29,17 +29,32 @@ struct CompiledTerm {
   bool is_var() const { return var >= 0; }
 };
 
-/// Backtracking join state over interned rows.
+/// Backtracking join state over interned rows. With a non-null `plan`
+/// (built by the Planner on the coordinator thread), the root expansion
+/// follows the plan's candidate list, unification prunes through the
+/// plan's allowed-id sets, and — for strict-order plans — the expansion
+/// order is the plan's; otherwise every level picks the most constrained
+/// pending atom adaptively, exactly like the pre-planner engine.
 class Search {
  public:
   Search(const CQuery& q, const Database& db, Assignment binding,
-         size_t limit, std::vector<Assignment>* out)
+         size_t limit, std::vector<Assignment>* out,
+         const Plan* plan = nullptr)
       : q_(q),
         db_(db),
         binding_(std::move(binding)),
         limit_(limit),
         out_(out),
+        plan_(plan),
         atom_done_(q.atoms().size(), false) {
+    if (plan != nullptr) {
+      for (const auto& ids : plan->allowed) {
+        if (!ids.empty()) {
+          check_allowed_ = true;
+          break;
+        }
+      }
+    }
     const relational::ValueDictionary& dict = db.dict();
     atom_rel_.reserve(q.atoms().size());
     atom_terms_.reserve(q.atoms().size());
@@ -98,6 +113,26 @@ class Search {
       plan.num_rows = atom_rel_[plan.atom]->rows().size();
     }
     return plan;
+  }
+
+  /// Expands the Planner-built plan's root atom over candidate rows
+  /// [begin, end) of its (possibly semi-join-filtered) candidate list,
+  /// recursing below the root per the plan's order contract. Precondition:
+  /// plan_ != nullptr, the plan was built against this database state and
+  /// binding, and it is neither infeasible nor trivial. A parallel driver
+  /// partitions [0, plan.RootCandidateCount()) into contiguous ranges
+  /// whose outputs, appended in range order, reproduce the serial scan
+  /// byte for byte.
+  void RunPlannedRange(size_t begin, size_t end) {
+    const Plan& plan = *plan_;
+    const size_t root = plan.steps[0].atom;
+    const Relation& rel = *atom_rel_[root];
+    atom_done_[root] = true;
+    const size_t remaining = q_.atoms().size();
+    for (size_t i = begin; i < end && !Done(); ++i) {
+      TryRow(root, rel.rows()[plan.RootCandidateAt(i)], remaining);
+    }
+    atom_done_[root] = false;
   }
 
   /// Expands the plan's root atom over candidate rows [begin, end) only,
@@ -227,7 +262,15 @@ class Search {
       return;
     }
     AtomScore best_score;
-    size_t best = PickBestAtom(&best_score);
+    size_t best;
+    if (plan_ != nullptr && plan_->strict_order) {
+      // Strict plans (parse-order mode) pin the expansion order; the probe
+      // column within the atom is still the most selective bound one.
+      best = plan_->steps[q_.atoms().size() - remaining].atom;
+      best_score = ScoreAtom(best);
+    } else {
+      best = PickBestAtom(&best_score);
+    }
 
     const Relation& rel = *atom_rel_[best];
     atom_done_[best] = true;
@@ -269,6 +312,19 @@ class Search {
       } else {
         binding_.BindId(term.var, row[col]);
         newly_bound->push_back(term.var);
+        // Semi-join pruning: a fresh binding outside the variable's
+        // allowed set cannot extend to any output (some atom has no row
+        // with this id in the shared column), so fail the row now. Only
+        // zero-output subtrees are cut — enumeration order of the
+        // surviving assignments is untouched.
+        if (check_allowed_) {
+          const auto v = static_cast<size_t>(term.var);
+          if (v < plan_->allowed.size() && !plan_->allowed[v].empty() &&
+              !std::binary_search(plan_->allowed[v].begin(),
+                                  plan_->allowed[v].end(), row[col])) {
+            return false;
+          }
+        }
       }
     }
     return true;
@@ -279,6 +335,10 @@ class Search {
   Assignment binding_;
   size_t limit_;
   std::vector<Assignment>* out_;
+  const Plan* plan_;  // Nullable; owned by the coordinator, read-only here.
+  // True iff plan_ carries at least one non-empty allowed set; hoists the
+  // semi-join membership test out of the common no-reduction case.
+  bool check_allowed_ = false;
   std::vector<bool> atom_done_;
   // Per-atom compiled form: relation pointer + id-space terms, plus
   // id-space inequalities. Built once in the constructor.
@@ -406,6 +466,54 @@ std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
     binding = std::move(widened);
   }
 
+  // Planned evaluation: unlimited searches on the coordinator thread run
+  // under an explicit Plan (cost-based root + semi-join reduction, or the
+  // strict parse-order plan). Limited searches always take the legacy
+  // engine below — *which* extension a bounded search finds first leaks
+  // into crowd questions, so their enumeration order is part of the
+  // transcript contract — and nested calls from pool workers stay off this
+  // path because planning mutates the shared stats cache.
+  if (mode_ != EvalMode::kLegacyGreedy && limit == 0 &&
+      (pool_ == nullptr || !pool_->OnWorkerThread())) {
+    Planner planner(db_, &stats_);
+    const Plan plan = planner.MakePlan(q, binding, mode_);
+    if (plan.infeasible) return out;
+    if (plan.trivial) {
+      out.push_back(std::move(binding));
+      return out;
+    }
+    const size_t n = plan.RootCandidateCount();
+    if (pool_ != nullptr && pool_->num_threads() > 1 &&
+        n >= kMinRootCandidatesForParallel) {
+      // Same warm-up and chunking contract as the legacy split below; the
+      // coordinator's Plan is shared by const ref (workers never plan).
+      db_->WarmIndexes();
+      const size_t chunks =
+          std::min(n, pool_->num_threads() * kRootChunksPerThread);
+      std::vector<std::vector<Assignment>> parts(chunks);
+      pool_->ParallelFor(chunks, [&](size_t c) {
+        const size_t begin = n * c / chunks;
+        const size_t end = n * (c + 1) / chunks;
+        std::vector<Assignment> part;
+        Search shard(q, *db_, binding, /*limit=*/0, &part, &plan);
+        shard.RunPlannedRange(begin, end);
+        parts[c] = std::move(part);
+      });
+      // Contiguous ascending ranges appended in chunk order reproduce the
+      // serial candidate-list scan: bit-identical output by construction.
+      size_t total = 0;
+      for (const std::vector<Assignment>& p : parts) total += p.size();
+      out.reserve(total);
+      for (std::vector<Assignment>& p : parts) {
+        for (Assignment& a : p) out.push_back(std::move(a));
+      }
+      return out;
+    }
+    Search search(q, *db_, std::move(binding), /*limit=*/0, &out, &plan);
+    search.RunPlannedRange(0, n);
+    return out;
+  }
+
   // Parallel root-scan split. Only for unlimited searches: a limited search
   // (IsSatisfiable and friends) stops at the first few hits, where fan-out
   // both wastes work and — worse — would make *which* extensions are found
@@ -453,6 +561,24 @@ std::vector<Assignment> Evaluator::FindExtensions(const CQuery& q,
 
   Search search(q, *db_, std::move(binding), limit, &out);
   search.Run();
+  return out;
+}
+
+std::string Evaluator::ExplainPlan(const CQuery& q) const {
+  // kLegacyGreedy never consults a plan at run time; EXPLAIN still shows
+  // what the cost-based planner would do so the dump stays informative
+  // (the header names the actual engine).
+  const EvalMode planned =
+      mode_ == EvalMode::kLegacyGreedy ? EvalMode::kCostBased : mode_;
+  Planner planner(db_, &stats_);
+  Plan plan = planner.MakePlan(q, Assignment(q.num_vars(), &db_->dict()),
+                               planned, /*force_predict=*/true);
+  std::string out = "EXPLAIN (";
+  out += EvalModeName(mode_);
+  out += ") ";
+  out += q.ToString(db_->catalog());
+  out += "\n";
+  out += plan.DebugString(q, db_->catalog());
   return out;
 }
 

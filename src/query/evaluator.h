@@ -1,10 +1,13 @@
 #ifndef QOCO_QUERY_EVALUATOR_H_
 #define QOCO_QUERY_EVALUATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "src/provenance/witness.h"
 #include "src/query/assignment.h"
+#include "src/query/column_stats.h"
+#include "src/query/planner.h"
 #include "src/query/query.h"
 #include "src/relational/database.h"
 
@@ -65,27 +68,47 @@ class EvalResult {
 };
 
 /// Evaluates conjunctive queries with inequalities over a Database using an
-/// index-backed backtracking join: at every step the atom with the most
-/// bound argument positions (and then the smallest candidate list) is
-/// expanded next, candidates drawn from a per-column hash index when any
-/// position is bound. Inequalities are checked as soon as both sides are
+/// index-backed backtracking join. Unlimited searches run under an explicit
+/// cost-based Plan by default (see Planner): the planner picks the root
+/// atom by exact candidate counts, pre-filters the root scan with a
+/// semi-join reduction, and prunes unification through per-variable
+/// allowed-id sets; expansion below the root adapts over exact index
+/// counts (most bound positions, then fewest candidates). Limited searches
+/// and EvalMode::kLegacyGreedy run the pre-planner adaptive engine
+/// unchanged. Inequalities are checked as soon as both sides are
 /// resolvable.
 class Evaluator {
  public:
   /// The database must outlive the evaluator. The evaluator always reads
-  /// the database's *current* state, so it can be reused across edits.
-  /// With a non-null `pool`, unlimited FindExtensions calls (and everything
-  /// built on them: Evaluate, IncrementalView refreshes) partition the
-  /// outer candidate scan of the most constrained atom across the pool's
-  /// workers; results are bit-identical to serial evaluation — see the
-  /// determinism contract in DESIGN.md §Parallel evaluation.
+  /// the database's *current* state, so it can be reused across edits
+  /// (plans re-derive from fresh ColumnStats when a relation's version
+  /// moved). With a non-null `pool`, unlimited FindExtensions calls (and
+  /// everything built on them: Evaluate, IncrementalView refreshes)
+  /// partition the plan's root scan across the pool's workers; results are
+  /// bit-identical to serial evaluation — see the determinism contract in
+  /// DESIGN.md §Parallel evaluation.
   explicit Evaluator(const relational::Database* db,
                      common::ThreadPool* pool = nullptr)
-      : db_(db), pool_(pool) {}
+      : db_(db), pool_(pool), stats_(db) {}
 
   /// Swaps the pool used for subsequent evaluations (nullptr = serial).
   void set_pool(common::ThreadPool* pool) { pool_ = pool; }
   common::ThreadPool* pool() const { return pool_; }
+
+  /// Selects the join-order engine for unlimited searches (see EvalMode;
+  /// limited searches always use the legacy engine). Default: kCostBased.
+  void set_mode(EvalMode mode) { mode_ = mode; }
+  EvalMode mode() const { return mode_; }
+
+  /// The lazily maintained statistics plans derive from; exposed for
+  /// audits and tests (coordinator-thread reads only, like evaluation).
+  const ColumnStats& stats() const { return stats_; }
+
+  /// EXPLAIN: the plan an unlimited evaluation of Q (from the empty
+  /// binding) would run, rendered via Plan::DebugString. Always includes
+  /// the predicted suffix and estimates; with mode() == kLegacyGreedy the
+  /// dump is advisory (the legacy engine orders adaptively at run time).
+  std::string ExplainPlan(const CQuery& q) const;
 
   /// The database this evaluator reads (callers constructing partial
   /// assignments need its dictionary).
@@ -119,6 +142,10 @@ class Evaluator {
  private:
   const relational::Database* db_;
   common::ThreadPool* pool_ = nullptr;
+  EvalMode mode_ = EvalMode::kCostBased;
+  // Lazily refreshed on the coordinator thread while planning; mutable for
+  // the same build-on-demand reason as Relation's indexes.
+  mutable ColumnStats stats_;
 };
 
 }  // namespace qoco::query

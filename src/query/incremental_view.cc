@@ -50,8 +50,9 @@ bool AssignmentUsesFact(const CQuery& q, const Assignment& a,
 }  // namespace
 
 IncrementalView::IncrementalView(CQuery q, const relational::Database* db,
-                                 common::ThreadPool* pool)
+                                 common::ThreadPool* pool, EvalMode mode)
     : q_(std::move(q)), db_(db), evaluator_(db, pool) {
+  evaluator_.set_mode(mode);
   Refresh();
   stats_ = Stats{};
   stats_.full_evals = 1;
@@ -240,10 +241,11 @@ common::Status IncrementalView::AuditInvariants() const {
 
 IncrementalUnionView::IncrementalUnionView(const UnionQuery& q,
                                            const relational::Database* db,
-                                           common::ThreadPool* pool) {
+                                           common::ThreadPool* pool,
+                                           EvalMode mode) {
   views_.reserve(q.disjuncts().size());
   for (const CQuery& disjunct : q.disjuncts()) {
-    views_.emplace_back(disjunct, db, pool);
+    views_.emplace_back(disjunct, db, pool, mode);
   }
 }
 

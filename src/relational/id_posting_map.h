@@ -1,6 +1,8 @@
 #ifndef QOCO_RELATIONAL_ID_POSTING_MAP_H_
 #define QOCO_RELATIONAL_ID_POSTING_MAP_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -105,6 +107,21 @@ class IdPostingMap {
     }
   }
 
+  /// Every key, sorted by raw id. Raw-id order is interning order — stable
+  /// across reruns of the same coordinator-side interning sequence (and
+  /// across thread counts, since only the coordinator interns), but not a
+  /// value order; use it for set algebra (IntersectSortedIds), never for
+  /// display.
+  std::vector<ValueId> SortedKeys() const {
+    std::vector<ValueId> keys;
+    keys.reserve(size_);
+    for (const Slot& s : slots_) {
+      if (s.key != kInvalidId) keys.push_back(s.key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
  private:
   struct Slot {
     ValueId key = kInvalidId;
@@ -126,6 +143,36 @@ class IdPostingMap {
   std::vector<Slot> slots_;
   size_t size_ = 0;
 };
+
+/// Intersection of two sorted id vectors, galloping from the smaller side:
+/// for each element of the smaller input, an exponential probe followed by
+/// a binary search narrows its slot in the larger one, so the cost is
+/// O(|small| · log(|large| / |small|)) — the shape that makes semi-join
+/// reduction over column domains cheap even when one domain dwarfs the
+/// other. Inputs must be strictly ascending; the output is too.
+inline std::vector<ValueId> IntersectSortedIds(
+    const std::vector<ValueId>& a, const std::vector<ValueId>& b) {
+  const std::vector<ValueId>& small = a.size() <= b.size() ? a : b;
+  const std::vector<ValueId>& large = a.size() <= b.size() ? b : a;
+  std::vector<ValueId> out;
+  out.reserve(small.size());
+  size_t lo = 0;
+  for (ValueId id : small) {
+    // Gallop: double the step until large[lo + step] passes id.
+    size_t step = 1;
+    while (lo + step < large.size() && large[lo + step] < id) step *= 2;
+    size_t hi = std::min(lo + step, large.size());
+    auto it = std::lower_bound(large.begin() + static_cast<ptrdiff_t>(lo),
+                               large.begin() + static_cast<ptrdiff_t>(hi), id);
+    lo = static_cast<size_t>(it - large.begin());
+    if (lo == large.size()) break;
+    if (*it == id) {
+      out.push_back(id);
+      ++lo;
+    }
+  }
+  return out;
+}
 
 }  // namespace qoco::relational
 

@@ -23,6 +23,7 @@ bool Relation::Insert(const Tuple& t) {
 bool Relation::InsertIds(const ITuple& t) {
   QOCO_DCHECK_EQ(t.size(), arity_);
   if (membership_.contains(t)) return false;
+  ++version_;
   uint32_t pos = static_cast<uint32_t>(rows_.size());
   rows_.push_back(t);
   membership_.emplace(t, pos);
@@ -41,6 +42,7 @@ bool Relation::Erase(const Tuple& t) {
 bool Relation::EraseIds(const ITuple& t) {
   auto it = membership_.find(t);
   if (it == membership_.end()) return false;
+  ++version_;
   uint32_t pos = it->second;
   membership_.erase(it);
   uint32_t last = static_cast<uint32_t>(rows_.size()) - 1;

@@ -50,6 +50,14 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
+  /// Monotone mutation counter: bumped by every Insert/Erase that actually
+  /// changed the relation (idempotent no-ops don't count). Derived caches
+  /// outside the relation — the query planner's ColumnStats above all —
+  /// stamp the version they were computed at and compare on read, so
+  /// staleness detection is one integer compare instead of a journal
+  /// subscription.
+  uint64_t version() const { return version_; }
+
   /// The dictionary this relation's ids live in.
   ValueDictionary& dict() const { return *dict_; }
 
@@ -89,6 +97,17 @@ class Relation {
   /// Value-typed probe (non-interning) for boundary callers.
   const std::vector<uint32_t>& RowsWithValue(size_t column,
                                              const Value& v) const;
+
+  /// The whole per-column index (built on demand), for derived statistics:
+  /// the query planner's ColumnStats walks it once per relation version to
+  /// compute distinct counts, posting-size histograms, and sorted column
+  /// domains. Same validity contract as RowsWithId: the reference holds
+  /// until the next mutation of this relation. Precondition:
+  /// column < arity().
+  const IdPostingMap& ColumnPostings(size_t column) const {
+    EnsureIndex(column);
+    return column_index_[column];
+  }
 
   /// Number of rows whose `column` equals the value behind `id`.
   /// Equivalent to RowsWithId(column, id).size(); spelled out so call sites
@@ -135,6 +154,7 @@ class Relation {
 
   size_t arity_;
   ValueDictionary* dict_;
+  uint64_t version_ = 0;
   std::vector<ITuple> rows_;
   std::unordered_map<ITuple, uint32_t, ITupleHash> membership_;
 

@@ -20,6 +20,12 @@
 #      maps in this codebase are transparent (common::StringHash +
 #      std::equal_to<>), so pass the string_view / char* directly.
 #      (std::string_view construction never matches.)
+#   6. No direct construction of the evaluation `Search` outside
+#      src/query/evaluator.cc: every join runs through Evaluator (which
+#      plans the atom order) — ad-hoc searches with an implicit order
+#      bypass the planner and break the determinism contract.
+#      (Identifiers merely containing "Search", like BinarySearch, and
+#      qualified mentions like Search::RootPlan never match.)
 #
 # tools/lint.sh --self-test exercises the rule regexes against known
 # positives/negatives and exits nonzero if any of them drifts.
@@ -38,6 +44,12 @@ thread_ctor_re='std::j?thread[[:space:]]*[({]|std::j?thread[[:space:]]+[A-Za-z_]
 # must be followed by '('), and plain `.find(name)` on an existing string
 # is fine — the ban is on the allocating temporary.
 temp_key_re='\.(find|count|contains|at|erase)[[:space:]]*\([[:space:]]*std::string[[:space:]]*\('
+
+# Rule 6 regex: a construction is `Search(` / `Search{` or
+# `Search name(` / `Search name{`, with nothing identifier-like (or a
+# namespace qualifier) immediately before, so BinarySearch( and
+# Search::RootPlan never match.
+search_ctor_re='(^|[^[:alnum:]_:])Search[[:space:]]*[({]|(^|[^[:alnum:]_:])Search[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]'
 
 if [[ "${1:-}" == "--self-test" ]]; then
   fails=0
@@ -67,6 +79,12 @@ if [[ "${1:-}" == "--self-test" ]]; then
   expect temp_key_re 0 'auto it = slots_.find(std::string_view(s));'
   expect temp_key_re 0 'std::string name(common::StripWhitespace(line));'
   expect temp_key_re 0 'out.find(needle) != std::string::npos'
+  expect search_ctor_re 1 'Search search(q, *db_, binding, 0, &out);'
+  expect search_ctor_re 1 'Search shard(q, *db_, binding, 0, &part, &plan);'
+  expect search_ctor_re 1 'Search(q, db, binding, 1, &out).Run();'
+  expect search_ctor_re 0 'size_t lo = BinarySearch(ids, key);'
+  expect search_ctor_re 0 'Search::RootPlan plan = planner.PlanRoot();'
+  expect search_ctor_re 0 'query::Plan plan = MakePlan(q, binding, mode);'
   [[ $fails -gt 0 ]] && { echo "lint self-test: $fails failure(s)" >&2; exit 1; }
   echo "lint self-test: ok"
   exit 0
@@ -136,6 +154,14 @@ for f in "${files[@]}"; do
     report "$f:$hit: lookup with a std::string temporary; string-keyed maps\
  are transparent (common::StringHash) — pass the string_view directly"
   done < <(strip_comments "$f" | grep -nE "$temp_key_re" | cut -d: -f1)
+
+  # Rule 6: ad-hoc Search construction outside the evaluator.
+  if [[ "$f" != "src/query/evaluator.cc" ]]; then
+    while IFS= read -r hit; do
+      report "$f:$hit: direct Search construction bypasses the planner;\
+ evaluate through query::Evaluator (src/query/evaluator.h)"
+    done < <(strip_comments "$f" | grep -nE "$search_ctor_re" | cut -d: -f1)
+  fi
 done
 
 if [[ $failures -gt 0 ]]; then
