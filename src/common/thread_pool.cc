@@ -56,7 +56,7 @@ size_t ThreadPool::ResolveNumThreads(size_t requested) {
 }
 
 bool ThreadPool::Enqueue(size_t target, std::function<void()> task) {
-  std::unique_lock<std::mutex> lk(wake_mu_);
+  MutexLock lk(wake_mu_);
   if (shutdown_ || workers_.empty()) return false;
   queues_[target % queues_.size()].tasks.push_back(std::move(task));
   ++pending_;
@@ -67,7 +67,7 @@ bool ThreadPool::Enqueue(size_t target, std::function<void()> task) {
 
 Status ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lk(wake_mu_);
+    MutexLock lk(wake_mu_);
     if (shutdown_) {
       return Status::FailedPrecondition(
           "ThreadPool::Submit after Shutdown: the pool no longer accepts "
@@ -86,7 +86,7 @@ Status ThreadPool::Submit(std::function<void()> task) {
   // Inline pool: run on the caller. The completion is published after the
   // fact so Wait() and the audit see submitted == completed at quiescence.
   task();
-  std::unique_lock<std::mutex> lk(wake_mu_);
+  MutexLock lk(wake_mu_);
   ++completed_total_;
   done_cv_.notify_all();
   return Status::OK();
@@ -119,9 +119,12 @@ std::function<void()> ThreadPool::PopTaskLocked(size_t self) {
 
 void ThreadPool::WorkerLoop(size_t self) {
   tls_worker_pool = this;
-  std::unique_lock<std::mutex> lk(wake_mu_);
+  MutexLock lk(wake_mu_);
   for (;;) {
-    wake_cv_.wait(lk, [this] { return shutdown_ || pending_ > 0; });
+    // Explicit wait loop (not the predicate overload): the predicate reads
+    // guarded members, and a plain loop keeps those reads visibly inside
+    // the locked region for clang's thread-safety analysis.
+    while (!shutdown_ && pending_ == 0) wake_cv_.wait(lk);
     if (pending_ == 0) {
       if (shutdown_) return;  // Drained; exit only once nothing is queued.
       continue;
@@ -138,13 +141,13 @@ void ThreadPool::WorkerLoop(size_t self) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lk(wake_mu_);
-  done_cv_.wait(lk, [this] { return pending_ == 0 && running_ == 0; });
+  MutexLock lk(wake_mu_);
+  while (pending_ != 0 || running_ != 0) done_cv_.wait(lk);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lk(wake_mu_);
+    MutexLock lk(wake_mu_);
     shutdown_ = true;
     wake_cv_.notify_all();
   }
@@ -161,7 +164,7 @@ void ThreadPool::ParallelFor(size_t n,
   if (n == 0) return;
   bool inline_run = workers_.empty() || OnWorkerThread();
   if (!inline_run) {
-    std::unique_lock<std::mutex> lk(wake_mu_);
+    MutexLock lk(wake_mu_);
     inline_run = shutdown_;
   }
   if (inline_run) {
@@ -210,7 +213,7 @@ void ThreadPool::ParallelFor(size_t n,
 }
 
 Status ThreadPool::AuditInvariants() const {
-  std::unique_lock<std::mutex> lk(wake_mu_);
+  MutexLock lk(wake_mu_);
   InvariantAuditor audit("common::ThreadPool");
 
   size_t queued = 0;

@@ -7,11 +7,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_safety.h"
 
 namespace qoco::common {
 
@@ -129,28 +129,31 @@ class ThreadPool {
   bool Enqueue(size_t target, std::function<void()> task);
 
   /// Pops own front / steals a victim's back and moves the unit from
-  /// pending to running. Caller holds wake_mu_. Returns an empty function
-  /// when every queue is empty.
-  std::function<void()> PopTaskLocked(size_t self);
+  /// pending to running. Returns an empty function when every queue is
+  /// empty.
+  std::function<void()> PopTaskLocked(size_t self) QOCO_REQUIRES(wake_mu_);
 
   void WorkerLoop(size_t self);
 
   size_t num_threads_ = 1;
-  std::vector<WorkerQueue> queues_;
+  /// Immutable once the constructor returns (joined threads stay in the
+  /// vector, non-joinable), so emptiness/size reads need no lock.
   std::vector<std::thread> workers_;
-  size_t next_queue_ = 0;  // Submit round-robin cursor (under wake_mu_).
 
   /// Scheduling state shared by producers and workers. `pending_` counts
   /// tasks sitting in queues, `running_` tasks popped but not finished;
-  /// everything below is guarded by wake_mu_.
-  mutable std::mutex wake_mu_;
-  std::condition_variable wake_cv_;  // workers: work available / shutdown
-  std::condition_variable done_cv_;  // Wait(): everything drained
-  size_t pending_ = 0;
-  size_t running_ = 0;
-  uint64_t submitted_total_ = 0;
-  uint64_t completed_total_ = 0;
-  bool shutdown_ = false;
+  /// every annotated member is guarded by wake_mu_ (checked by clang
+  /// -Wthread-safety and qoco-analyze rule `guarded-by`).
+  mutable Mutex wake_mu_;
+  std::condition_variable_any wake_cv_;  // workers: work available / shutdown
+  std::condition_variable_any done_cv_;  // Wait(): everything drained
+  std::vector<WorkerQueue> queues_ QOCO_GUARDED_BY(wake_mu_);
+  size_t next_queue_ QOCO_GUARDED_BY(wake_mu_) = 0;  // Submit round-robin.
+  size_t pending_ QOCO_GUARDED_BY(wake_mu_) = 0;
+  size_t running_ QOCO_GUARDED_BY(wake_mu_) = 0;
+  uint64_t submitted_total_ QOCO_GUARDED_BY(wake_mu_) = 0;
+  uint64_t completed_total_ QOCO_GUARDED_BY(wake_mu_) = 0;
+  bool shutdown_ QOCO_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace qoco::common

@@ -1,5 +1,8 @@
 #include "src/qoco/session.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/query/parser.h"
 
 namespace qoco {
@@ -12,10 +15,21 @@ Session::Session(relational::Database* db,
       rng_(options.seed) {}
 
 void Session::JournalEdits(const cleaning::EditList& edits) {
+  // Deltas are applied to views in signature order, never in hash order:
+  // unordered_map layout varies across libstdc++ versions and process runs,
+  // and any maintenance side effect (audit hooks, diagnostics) would leak
+  // that order. Snapshot + sort once per batch, then stream every edit.
+  std::vector<std::pair<std::string_view, query::IncrementalView*>> views;
+  views.reserve(monitored_views_.size());
+  // qoco-lint: allow(unordered-iteration): pointer snapshot only, sorted by signature below
+  for (auto& [signature, view] : monitored_views_) {
+    views.emplace_back(signature, view.get());
+  }
+  std::sort(views.begin(), views.end());
   for (const cleaning::Edit& e : edits) {
     bool is_insert = e.kind == cleaning::Edit::Kind::kInsert;
     journal_.Append(is_insert, e.fact, db_->catalog());
-    for (auto& [signature, view] : monitored_views_) {
+    for (auto& [signature, view] : views) {
       if (is_insert) {
         view->OnInsert(e.fact);
       } else {

@@ -125,6 +125,7 @@ common::Status ColumnStats::AuditInvariants() const {
                           << ": stale domain (" << a.domain.size()
                           << " ids cached, " << b.domain.size() << " live)";
       }
+      // qoco-lint: allow(id-order): domains are deliberately kept in raw-id order for galloping intersection; this audit asserts that invariant and the order never reaches output
       if (!std::is_sorted(a.domain.begin(), a.domain.end()) ||
           std::adjacent_find(a.domain.begin(), a.domain.end()) !=
               a.domain.end()) {

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "src/common/status.h"
+#include "src/common/thread_safety.h"
 #include "src/relational/database.h"
 
 namespace qoco::relational {
@@ -28,12 +29,15 @@ class EditJournal {
   static std::string EncodeEdit(bool insert, const Fact& fact,
                                 const Catalog& catalog);
 
-  /// Appends an edit record to the in-memory journal buffer.
-  void Append(bool insert, const Fact& fact, const Catalog& catalog);
+  /// Appends an edit record to the in-memory journal buffer. The journal is
+  /// part of the oracle transcript, whose byte order must not depend on
+  /// scheduling, so edits are recorded coordinator-side only.
+  void Append(bool insert, const Fact& fact, const Catalog& catalog)
+      QOCO_COORDINATOR_ONLY;
 
   /// The journal contents accumulated so far (one record per line).
   const std::string& contents() const { return contents_; }
-  void Clear() { contents_.clear(); }
+  void Clear() QOCO_COORDINATOR_ONLY { contents_.clear(); }
 
  private:
   std::string contents_;

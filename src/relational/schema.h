@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_safety.h"
 #include "src/relational/tuple.h"
 #include "src/relational/value_dictionary.h"
 
@@ -30,12 +31,15 @@ class Catalog {
   Catalog() = default;
 
   /// Registers a relation. Returns its id, or AlreadyExists if the name is
-  /// taken, or InvalidArgument for an empty name / zero arity.
-  common::Result<RelationId> AddRelation(RelationSchema schema);
+  /// taken, or InvalidArgument for an empty name / zero arity. Mutates
+  /// catalog state shared by every session, so coordinator-side only.
+  common::Result<RelationId> AddRelation(RelationSchema schema)
+      QOCO_COORDINATOR_ONLY;
 
   /// Convenience overload building the schema in place.
-  common::Result<RelationId> AddRelation(
-      const std::string& name, std::vector<std::string> attributes);
+  common::Result<RelationId> AddRelation(const std::string& name,
+                                         std::vector<std::string> attributes)
+      QOCO_COORDINATOR_ONLY;
 
   /// Looks up a relation id by name.
   common::Result<RelationId> FindRelation(const std::string& name) const;

@@ -170,10 +170,13 @@ common::Status ValueDictionary::AuditInvariants() const {
                         << " (table has " << slots_.size() << ")";
     }
   };
+  // qoco-lint: allow(unordered-iteration): audit-only range check; each entry is validated independently and nothing ordered escapes
   for (const auto& [s, slot] : string_slots_) check_range(slot, "'" + s + "'");
+  // qoco-lint: allow(unordered-iteration): audit-only range check, order-independent per entry
   for (const auto& [i, slot] : int_slots_) {
     check_range(slot, std::to_string(i));
   }
+  // qoco-lint: allow(unordered-iteration): audit-only range check, order-independent per entry
   for (const auto& [d, slot] : double_slots_) {
     check_range(slot, std::to_string(d));
   }

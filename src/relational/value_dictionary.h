@@ -9,6 +9,7 @@
 
 #include "src/common/status.h"
 #include "src/common/strings.h"
+#include "src/common/thread_safety.h"
 #include "src/relational/tuple.h"
 #include "src/relational/value.h"
 #include "src/relational/value_id.h"
@@ -38,14 +39,14 @@ class ValueDictionary {
   ValueDictionary() = default;
 
   /// Interns `v`, returning its (possibly pre-existing) id.
-  ValueId Intern(const Value& v);
+  ValueId Intern(const Value& v) QOCO_COORDINATOR_ONLY;
 
   /// Interns a string value without constructing a Value (and, on a hit,
   /// without constructing a std::string: the probe is heterogeneous).
-  ValueId InternString(std::string_view s);
+  ValueId InternString(std::string_view s) QOCO_COORDINATOR_ONLY;
 
-  ValueId InternInt(int64_t v);
-  ValueId InternDouble(double v);
+  ValueId InternInt(int64_t v) QOCO_COORDINATOR_ONLY;
+  ValueId InternDouble(double v) QOCO_COORDINATOR_ONLY;
 
   /// The id of `v` if it is representable without mutating the dictionary
   /// (null, inline int, or already interned); nullopt otherwise. A value
@@ -133,10 +134,10 @@ Tuple MaterializeTuple(const ITuple& t, const ValueDictionary& dict);
 Fact MaterializeFact(const IFact& f, const ValueDictionary& dict);
 
 /// Interns every value of `t` (mutating; coordinator-side only).
-ITuple InternTuple(const Tuple& t, ValueDictionary* dict);
+ITuple InternTuple(const Tuple& t, ValueDictionary* dict) QOCO_COORDINATOR_ONLY;
 
 /// Interns a value fact (mutating; coordinator-side only).
-IFact InternFact(const Fact& f, ValueDictionary* dict);
+IFact InternFact(const Fact& f, ValueDictionary* dict) QOCO_COORDINATOR_ONLY;
 
 /// Non-mutating id lookup of a whole tuple: nullopt if any value is not
 /// representable (such a tuple is stored nowhere).

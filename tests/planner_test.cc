@@ -70,8 +70,10 @@ TEST(IntersectSortedIdsTest, SkewedSizesGallop) {
   // One tiny list against a long run: the galloping path must land on the
   // exact matches.
   std::vector<ValueId> big;
+  // qoco-lint: allow(id-order): IntersectSortedIds' contract *is* raw-id sorted order; the test builds its inputs in that order
   for (ValueId i = 0; i < 10'000; i += 2) big.push_back(i);
   std::vector<ValueId> small = {1, 4'096, 9'999, 9'998};
+  // qoco-lint: allow(id-order): sorting raw ids is the precondition under test
   std::sort(small.begin(), small.end());
   EXPECT_EQ(relational::IntersectSortedIds(small, big),
             (std::vector<ValueId>{4'096, 9'998}));

@@ -1,0 +1,8 @@
+// Fixture: adhoc-search must fire exactly once (direct Search construction
+// outside src/query/evaluator.cc).
+#include "src/query/search.h"
+
+void RunPlanDirectly(const qoco::query::CQuery& q) {
+  Search s(q);
+  s.Run();
+}

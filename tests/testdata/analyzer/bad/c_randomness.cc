@@ -1,0 +1,6 @@
+// Fixture: c-randomness must fire exactly once (the rand() call below).
+#include <cstdlib>
+
+int RollDie() {
+  return rand() % 6 + 1;
+}

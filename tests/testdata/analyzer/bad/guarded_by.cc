@@ -1,0 +1,18 @@
+// Fixture: guarded-by must fire exactly once (Peek reads n_ without
+// holding mu_; Bump is the in-file negative, locking before the access).
+#include "src/common/thread_safety.h"
+
+class Counter {
+ public:
+  void Bump() {
+    qoco::common::MutexLock lk(mu_);
+    ++n_;
+  }
+  int Peek() const {
+    return n_;
+  }
+
+ private:
+  qoco::common::Mutex mu_;
+  int n_ QOCO_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,9 @@
+// Fixture: id-order must fire exactly once (relational `<` over raw
+// ValueIds outside the dictionary/comparator files).
+#include "src/relational/value_id.h"
+
+using qoco::relational::ValueId;
+
+bool FirstComesEarlier(ValueId a, ValueId b) {
+  return a < b;
+}

@@ -1,0 +1,12 @@
+// Fixture: naked-new must fire exactly once (the `new` expression below).
+#include <memory>
+
+struct Widget {
+  int size = 0;
+};
+
+Widget* MakeWidget() {
+  auto* w = new Widget();
+  w->size = 3;
+  return w;
+}

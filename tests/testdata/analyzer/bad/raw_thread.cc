@@ -1,0 +1,10 @@
+// Fixture: raw-thread must fire exactly once (std::thread construction
+// outside src/common/thread_pool.cc).
+#include <thread>
+
+void DoWork();
+
+void SpawnWorker() {
+  std::thread worker(DoWork);
+  worker.join();
+}

@@ -1,0 +1,11 @@
+// Fixture: relation-iterate-mutate must fire exactly once (Erase on the
+// relation whose rows() the loop is ranging over).
+#include "src/relational/relation.h"
+
+void DropEmptyRows(qoco::relational::Relation& rel) {
+  for (const auto& row : rel.rows()) {
+    if (row.empty()) {
+      rel.Erase(row);
+    }
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: temp-string-key must fire exactly once (the lookup below
+// materializes a std::string just to probe a transparent map).
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+bool HasKey(const std::unordered_map<std::string, int>& index,
+            std::string_view key) {
+  return index.find(std::string(key)) != index.end();
+}

@@ -1,0 +1,13 @@
+// Fixture: unjustified-suppression must fire exactly once. The allow
+// below silences the naked-new finding but carries no justification, so
+// the analyzer reports the suppression itself instead.
+#include <memory>
+
+struct Widget {
+  int size = 0;
+};
+
+Widget* MakeWidget() {
+  auto* w = new Widget();  // qoco-lint: allow(naked-new)
+  return w;
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered-iteration must fire exactly once (range-for over an
+// unordered_map local).
+#include <unordered_map>
+
+int SumValues() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

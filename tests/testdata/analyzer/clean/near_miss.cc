@@ -1,0 +1,41 @@
+// Fixture: legal near-misses of every rule; the analyzer must stay quiet.
+#include "tests/testdata/analyzer/clean/near_miss.h"
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+// guarded-by: the declaration in the sibling header carries
+// QOCO_REQUIRES(mu_), which covers this out-of-line definition.
+void Box::Touch() {
+  ++n_;
+}
+
+// guarded-by: locking before the access is the ordinary covered path.
+void Box::Bump() {
+  qoco::common::MutexLock lk(mu_);
+  ++n_;
+}
+
+// Declares a member spelled `rand` without writing `rand(` anywhere —
+// fixtures are lexed, never compiled, and a `rand(` declaration would
+// itself look like a call at the token level.
+struct Engine;
+Engine MakeEngine();
+
+int LegalPatterns(const std::map<std::string, int, std::less<>>& index,
+                  std::string_view key) {
+  // naked-new: ownership through make_unique is fine.
+  auto box = std::make_unique<Box>();
+  box->Bump();
+  // c-randomness: a member call spelled rand is not std::rand.
+  int total = MakeEngine().rand();
+  // temp-string-key: transparent lookup passes the view straight through.
+  auto it = index.find(key);
+  // unordered-iteration: std::map iterates in key order.
+  for (const auto& [name, value] : index) {
+    total += value;
+  }
+  return it == index.end() ? total : it->second;
+}

@@ -1,0 +1,19 @@
+// Fixture: sibling header for clean/near_miss.cc. The QOCO_REQUIRES on
+// the Touch declaration must cover the out-of-line definition in the .cc
+// (the analyzer merges .h/.cc siblings before running guarded-by).
+#ifndef TESTS_TESTDATA_ANALYZER_CLEAN_NEAR_MISS_H_
+#define TESTS_TESTDATA_ANALYZER_CLEAN_NEAR_MISS_H_
+
+#include "src/common/thread_safety.h"
+
+class Box {
+ public:
+  void Bump();
+  void Touch() QOCO_REQUIRES(mu_);
+
+ private:
+  qoco::common::Mutex mu_;
+  int n_ QOCO_GUARDED_BY(mu_) = 0;
+};
+
+#endif  // TESTS_TESTDATA_ANALYZER_CLEAN_NEAR_MISS_H_

@@ -1,0 +1,14 @@
+// Fixture: comment-above suppression form. The justified allow covers the
+// first code line after it (the range-for), leaving the file clean.
+#include <unordered_map>
+
+void Record(int key, int value);
+
+void DumpDiagnostics(const int n) {
+  std::unordered_map<int, int> histogram;
+  histogram[n] = 1;
+  // qoco-lint: allow(unordered-iteration): diagnostic dump only; every entry is recorded independently and nothing ordered escapes
+  for (const auto& [key, value] : histogram) {
+    Record(key, value);
+  }
+}

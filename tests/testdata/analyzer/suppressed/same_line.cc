@@ -1,0 +1,14 @@
+// Fixture: same-line suppression form. The justified allow on the `new`
+// line must silence naked-new, leaving the file clean.
+#include <memory>
+
+struct Widget {
+  int size = 0;
+};
+
+void RegisterWidget(Widget* w);
+
+void GrowRegistry() {
+  auto* w = new Widget();  // qoco-lint: allow(naked-new): ownership passes to the registry, which frees every widget on shutdown
+  RegisterWidget(w);
+}

@@ -29,7 +29,7 @@ namespace qoco::common {
 // without an actual data race (the suite must stay TSan-clean).
 struct ThreadPoolCorruptor {
   static void InjectPhantomCompletion(ThreadPool* pool) {
-    std::unique_lock<std::mutex> lk(pool->wake_mu_);
+    MutexLock lk(pool->wake_mu_);
     ++pool->completed_total_;
   }
 };

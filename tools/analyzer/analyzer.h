@@ -1,0 +1,83 @@
+#ifndef QOCO_TOOLS_ANALYZER_ANALYZER_H_
+#define QOCO_TOOLS_ANALYZER_ANALYZER_H_
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/analyzer/lexer.h"
+
+namespace qoco::analyze {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Static description of a rule: what it flags and how to fix a hit.
+/// The catalog (analyzer.cc) is the single source of truth for rule names;
+/// DESIGN.md "Static analysis" documents the same list for humans.
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;  // one line: what the rule flags
+  std::string_view fix;      // one line: how to repair a finding
+};
+
+/// The rule catalog, in report order.
+const std::vector<RuleInfo>& Rules();
+
+/// A lexed source file. `path` is repo-relative with forward slashes; the
+/// per-rule file allowlists and the sibling-header merge key off it.
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;  // full stream, comments + directives included
+  std::vector<Token> code;    // comments and directives stripped
+};
+
+SourceFile MakeSourceFile(std::string path, std::string_view src);
+
+struct AnalyzerConfig {
+  bool verbose = false;
+  /// Functions the `unordered-iteration` rule treats as order-insensitive
+  /// (iteration inside them is not flagged). Ships empty: the repo
+  /// suppresses at the loop with a justified allow-comment instead, but
+  /// downstream forks can allowlist wholesale.
+  std::set<std::string> order_insensitive_functions;
+};
+
+/// Runs every rule over `files` (cross-file state: sibling .h/.cc merging
+/// and the QOCO_COORDINATOR_ONLY index span all of them), applies
+/// qoco-lint suppression comments, and returns the surviving findings
+/// sorted by (path, line, rule). Suppressions without a justification are
+/// themselves findings (`unjustified-suppression`).
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const AnalyzerConfig& config);
+
+/// Walks `paths` (relative to `root`; files or directories) for *.cc/*.h —
+/// skipping testdata/, build*/ and dot-directories — then lexes and
+/// analyzes the tree. Scanned paths are appended to `*scanned` when
+/// non-null. On I/O failure returns no findings and sets `*error`.
+std::vector<Finding> AnalyzeTree(const std::string& root,
+                                 const std::vector<std::string>& paths,
+                                 const AnalyzerConfig& config,
+                                 std::vector<std::string>* scanned,
+                                 std::string* error);
+
+/// Prints findings as `path:line: [rule] message` with a per-rule `fix:`
+/// explanation line underneath.
+void PrintFindings(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Built-in calibration (the `--self-test` flag): every rule fires on its
+/// minimal positive snippet and stays quiet on the matching negatives,
+/// including every suppression form. Returns true iff all cases pass;
+/// failures are described on `err`.
+bool SelfTest(std::ostream& err);
+
+}  // namespace qoco::analyze
+
+#endif  // QOCO_TOOLS_ANALYZER_ANALYZER_H_

@@ -1,0 +1,240 @@
+#include "tools/analyzer/lexer.h"
+
+#include <cctype>
+
+namespace qoco::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first within each length class.
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=",
+                                        "==", "!=", "&&", "||", "+=", "-=",
+                                        "*=", "/=", "%=", "&=", "|=", "^=",
+                                        "++", "--", "##"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        Directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        LineComment();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        BlockComment();
+      } else if (c == '"') {
+        QuotedString();
+      } else if (c == '\'') {
+        CharLiteral();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        Number();
+      } else if (IsIdentStart(c)) {
+        Identifier();
+      } else {
+        Punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(TokKind kind, size_t begin, size_t end, int line) {
+    out_.push_back(
+        Token{kind, std::string(src_.substr(begin, end - begin)), line});
+  }
+
+  void CountLines(size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+  }
+
+  /// One whole preprocessor line, folding backslash continuations.
+  void Directive() {
+    const size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '\n' ||
+           (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+            src_[pos_ + 2] == '\n'))) {
+        pos_ += src_[pos_ + 1] == '\r' ? 3 : 2;
+        ++line_;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    Emit(TokKind::kDirective, begin, pos_, line);
+    at_line_start_ = true;  // The trailing '\n' is consumed by the main loop.
+  }
+
+  void LineComment() {
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    Emit(TokKind::kComment, begin, pos_, line_);
+  }
+
+  void BlockComment() {
+    const size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 1 < src_.size() ? pos_ + 2 : src_.size();
+    Emit(TokKind::kComment, begin, pos_, line);
+  }
+
+  void QuotedString() {
+    const size_t begin = pos_;
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      pos_ += src_[pos_] == '\\' ? 2 : 1;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    Emit(TokKind::kString, begin, pos_, line);
+  }
+
+  /// R"delim( ... )delim", reached from Identifier() on an R-ish prefix.
+  void RawString(size_t prefix_begin) {
+    const int line = line_;
+    ++pos_;  // opening quote
+    const size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    const std::string close =
+        ")" + std::string(src_.substr(delim_begin, pos_ - delim_begin)) + "\"";
+    const size_t end = src_.find(close, pos_);
+    const size_t stop = end == std::string_view::npos ? src_.size()
+                                                      : end + close.size();
+    CountLines(pos_, stop);
+    pos_ = stop;
+    Emit(TokKind::kString, prefix_begin, pos_, line);
+  }
+
+  void CharLiteral() {
+    const size_t begin = pos_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      pos_ += src_[pos_] == '\\' ? 2 : 1;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    Emit(TokKind::kChar, begin, pos_, line_);
+  }
+
+  void Number() {
+    const size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        // Exponent signs: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+          ++pos_;
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, begin, pos_, line_);
+  }
+
+  void Identifier() {
+    const size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    const std::string_view word = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR")) {
+      RawString(begin);
+      return;
+    }
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'') &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      // Encoding-prefixed ordinary literal: re-dispatch on the quote.
+      if (src_[pos_] == '"') {
+        QuotedString();
+      } else {
+        CharLiteral();
+      }
+      // Fold the prefix into the literal token just emitted.
+      out_.back().text = std::string(word) + out_.back().text;
+      return;
+    }
+    Emit(TokKind::kIdent, begin, pos_, line_);
+  }
+
+  void Punct() {
+    for (std::string_view p : kPunct3) {
+      if (src_.substr(pos_, 3) == p) {
+        Emit(TokKind::kPunct, pos_, pos_ + 3, line_);
+        pos_ += 3;
+        return;
+      }
+    }
+    for (std::string_view p : kPunct2) {
+      if (src_.substr(pos_, 2) == p) {
+        Emit(TokKind::kPunct, pos_, pos_ + 2, line_);
+        pos_ += 2;
+        return;
+      }
+    }
+    Emit(TokKind::kPunct, pos_, pos_ + 1, line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+// GCC 12 emits a bogus -Wrestrict for the std::string copy of a substr
+// view once Emit is inlined all the way into Lex at -O2 (GCC PR105651).
+// The push/pop scopes the suppression to this one definition — the
+// function the diagnostic is attributed to — and leaves the warning live
+// for all other code.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+std::vector<Token> Lex(std::string_view src) { return Lexer(src).Run(); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace qoco::analyze

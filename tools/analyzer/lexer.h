@@ -1,0 +1,34 @@
+#ifndef QOCO_TOOLS_ANALYZER_LEXER_H_
+#define QOCO_TOOLS_ANALYZER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qoco::analyze {
+
+enum class TokKind {
+  kIdent,      // identifiers and keywords (the rules tell them apart)
+  kNumber,     // numeric literal, including ud-suffixes
+  kString,     // "..." / R"(...)" with any encoding prefix
+  kChar,       // '...'
+  kPunct,      // operators and punctuation, longest-match
+  kComment,    // // or /* */, text includes the delimiters
+  kDirective,  // a whole preprocessor line, continuations folded in
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character.
+};
+
+/// Lexes C++ source into a flat token stream. Comments and preprocessor
+/// directives come out as single tokens so rules can skip them wholesale
+/// (or, for comments, scan them for suppression markers). The lexer never
+/// fails: bytes it does not understand become one-character punct tokens.
+std::vector<Token> Lex(std::string_view src);
+
+}  // namespace qoco::analyze
+
+#endif  // QOCO_TOOLS_ANALYZER_LEXER_H_

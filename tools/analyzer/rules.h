@@ -1,0 +1,31 @@
+#ifndef QOCO_TOOLS_ANALYZER_RULES_H_
+#define QOCO_TOOLS_ANALYZER_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyzer/analyzer.h"
+
+namespace qoco::analyze {
+
+/// State the rules need from files other than the one under analysis.
+struct CrossFileIndex {
+  /// Names of functions annotated QOCO_COORDINATOR_ONLY anywhere in the
+  /// scanned tree, plus the built-in Intern* family. The `worker-intern`
+  /// rule flags calls to these from pool-worker code regions.
+  std::set<std::string> coordinator_only;
+};
+
+CrossFileIndex BuildCrossFileIndex(const std::vector<SourceFile>& files);
+
+/// Runs every rule over `file`. `sibling` is the matching .h for a .cc (or
+/// vice versa) when it was scanned, so member declarations and annotations
+/// in a header inform the analysis of its implementation file.
+void RunRules(const SourceFile& file, const SourceFile* sibling,
+              const CrossFileIndex& index, const AnalyzerConfig& config,
+              std::vector<Finding>* findings);
+
+}  // namespace qoco::analyze
+
+#endif  // QOCO_TOOLS_ANALYZER_RULES_H_

@@ -1,171 +1,53 @@
 #!/usr/bin/env bash
-# Project-specific lint for patterns the compiler accepts but the codebase
-# bans. Run from anywhere: tools/lint.sh [--verbose]. Exit 0 iff clean.
+# Project-specific lint, now a thin wrapper over qoco-analyze
+# (tools/analyzer/): a tokenizer-based analyzer enforcing the determinism
+# and thread-safety contracts. The grep-era rules 1-6 live on as analyzer
+# rules (naked-new, c-randomness, relation-iterate-mutate, raw-thread,
+# temp-string-key, adhoc-search) alongside the newer unordered-iteration,
+# id-order, worker-intern, and guarded-by rules — see DESIGN.md "Static
+# analysis" for the catalog and suppression policy.
 #
-# Rules:
-#   1. No naked `new` / `delete`: ownership goes through std::make_unique,
-#      containers, or values (tests included; gtest fixtures are no excuse).
-#   2. No C randomness (rand/srand/random_shuffle): all randomness flows
-#      through common::Rng so experiments stay reproducible from the seed.
-#   3. Iterator-invalidation heuristic: no Insert/Erase on a relation while
-#      range-iterating its rows() — the swap-remove invalidates the row
-#      vector mid-loop.
-#   4. No raw std::thread/std::jthread construction outside
-#      src/common/thread_pool.cc: all concurrency goes through
-#      common::ThreadPool so the determinism contract and the TSan matrix
-#      see every thread. (std::this_thread, std::thread::id, and
-#      std::vector<std::thread> member declarations are fine.)
-#   5. No temporary-key lookups: calling find/count/contains/at/erase with a
-#      freshly constructed std::string allocates per probe. String-keyed
-#      maps in this codebase are transparent (common::StringHash +
-#      std::equal_to<>), so pass the string_view / char* directly.
-#      (std::string_view construction never matches.)
-#   6. No direct construction of the evaluation `Search` outside
-#      src/query/evaluator.cc: every join runs through Evaluator (which
-#      plans the atom order) — ad-hoc searches with an implicit order
-#      bypass the planner and break the determinism contract.
-#      (Identifiers merely containing "Search", like BinarySearch, and
-#      qualified mentions like Search::RootPlan never match.)
+# Contract (unchanged from the grep era):
+#   tools/lint.sh [--verbose]   scan src tests bench tools; exit 0 iff clean
+#   tools/lint.sh --self-test   run the rule calibration; exit 0 iff it holds
 #
-# tools/lint.sh --self-test exercises the rule regexes against known
-# positives/negatives and exits nonzero if any of them drifts.
+# The wrapper reuses the cmake-built binary when it is fresh, and otherwise
+# compiles the analyzer directly into build-lint/ so lint works without a
+# configured build tree.
 set -u
 
 cd "$(dirname "$0")/.."
 
-# Rule 4 regex: a construction is `std::thread(` / `std::thread{` or
-# `std::thread name(` / `std::thread name{`. `std::thread::...` (static
-# members, ::id) and bare type mentions never match because neither
-# alternative allows a following ':' or '>'.
-thread_ctor_re='std::j?thread[[:space:]]*[({]|std::j?thread[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]'
+analyzer_sources=(tools/analyzer/*.cc tools/analyzer/*.h)
 
-# Rule 5 regex: a lookup-style member call whose key argument is a freshly
-# constructed std::string. `std::string_view(...)` never matches ("string"
-# must be followed by '('), and plain `.find(name)` on an existing string
-# is fine — the ban is on the allocating temporary.
-temp_key_re='\.(find|count|contains|at|erase)[[:space:]]*\([[:space:]]*std::string[[:space:]]*\('
+is_fresh() { # 1 = candidate binary; fresh iff newer than every source
+  local bin=$1 src
+  [[ -x "$bin" ]] || return 1
+  for src in "${analyzer_sources[@]}"; do
+    [[ "$src" -nt "$bin" ]] && return 1
+  done
+  return 0
+}
 
-# Rule 6 regex: a construction is `Search(` / `Search{` or
-# `Search name(` / `Search name{`, with nothing identifier-like (or a
-# namespace qualifier) immediately before, so BinarySearch( and
-# Search::RootPlan never match.
-search_ctor_re='(^|[^[:alnum:]_:])Search[[:space:]]*[({]|(^|[^[:alnum:]_:])Search[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*[({]'
+bin="build/tools/analyzer/qoco-analyze"
+if ! is_fresh "$bin"; then
+  bin="build-lint/qoco-analyze"
+  if ! is_fresh "$bin"; then
+    mkdir -p build-lint
+    compiler="${CXX:-c++}"
+    "$compiler" -std=c++20 -O2 -I. tools/analyzer/analyzer.cc \
+      tools/analyzer/lexer.cc tools/analyzer/rules.cc tools/analyzer/main.cc \
+      -o "$bin" \
+      || { echo "lint: failed to build qoco-analyze" >&2; exit 1; }
+  fi
+fi
 
 if [[ "${1:-}" == "--self-test" ]]; then
-  fails=0
-  expect() { # 1=regex-var-name, 2=1=should-match|0=should-not, 3=line
-    local -n re=$1
-    if [[ "$2" == 1 ]]; then
-      grep -qE "$re" <<<"$3" \
-        || { echo "self-test: missed positive: $3" >&2; fails=$((fails+1)); }
-    else
-      grep -qE "$re" <<<"$3" \
-        && { echo "self-test: false positive: $3" >&2; fails=$((fails+1)); }
-    fi
-  }
-  expect thread_ctor_re 1 'std::thread t(fn);'
-  expect thread_ctor_re 1 'std::thread worker_1{[] {}};'
-  expect thread_ctor_re 1 'std::thread(fn).detach();'
-  expect thread_ctor_re 1 'std::jthread t(fn);'
-  expect thread_ctor_re 0 'std::thread::id ran_on;'
-  expect thread_ctor_re 0 'EXPECT_EQ(ran_on, std::this_thread::get_id());'
-  expect thread_ctor_re 0 'std::vector<std::thread> workers_;'
-  expect thread_ctor_re 0 'unsigned n = std::thread::hardware_concurrency();'
-  expect temp_key_re 1 'auto it = slots_.find(std::string(s));'
-  expect temp_key_re 1 'if (names.count(std::string(view)) > 0) {'
-  expect temp_key_re 1 'map.contains( std::string(line.substr(3)) )'
-  expect temp_key_re 1 'index.erase(std::string(key));'
-  expect temp_key_re 0 'auto it = slots_.find(s);'
-  expect temp_key_re 0 'auto it = slots_.find(std::string_view(s));'
-  expect temp_key_re 0 'std::string name(common::StripWhitespace(line));'
-  expect temp_key_re 0 'out.find(needle) != std::string::npos'
-  expect search_ctor_re 1 'Search search(q, *db_, binding, 0, &out);'
-  expect search_ctor_re 1 'Search shard(q, *db_, binding, 0, &part, &plan);'
-  expect search_ctor_re 1 'Search(q, db, binding, 1, &out).Run();'
-  expect search_ctor_re 0 'size_t lo = BinarySearch(ids, key);'
-  expect search_ctor_re 0 'Search::RootPlan plan = planner.PlanRoot();'
-  expect search_ctor_re 0 'query::Plan plan = MakePlan(q, binding, mode);'
-  [[ $fails -gt 0 ]] && { echo "lint self-test: $fails failure(s)" >&2; exit 1; }
+  "$bin" --self-test >/dev/null || { echo "lint self-test: failed" >&2; exit 1; }
   echo "lint self-test: ok"
   exit 0
 fi
 
-verbose=0
-[[ "${1:-}" == "--verbose" ]] && verbose=1
-
-mapfile -t files < <(find src tests bench tools -name '*.cc' -o -name '*.h' \
-  2>/dev/null | sort)
-
-failures=0
-
-report() { # file:line message
-  echo "lint: $1" >&2
-  failures=$((failures + 1))
-}
-
-# strip_comments FILE: drop // comments (string literals with // are rare
-# enough in this codebase that the simple form is fine).
-strip_comments() { sed 's@//.*$@@' "$1"; }
-
-for f in "${files[@]}"; do
-  [[ $verbose -eq 1 ]] && echo "lint: checking $f"
-
-  # Rule 1: naked new / delete.
-  while IFS= read -r hit; do
-    report "$f:$hit: naked 'new'/'delete'; use std::make_unique or a value"
-  done < <(strip_comments "$f" \
-    | grep -nE '(^|[^[:alnum:]_])(new[[:space:]]+[[:alnum:]_:]|delete[[:space:]]+[[:alnum:]_]|delete\[\])' \
-    | grep -vE 'operator (new|delete)' | cut -d: -f1)
-
-  # Rule 2: C randomness.
-  while IFS= read -r hit; do
-    report "$f:$hit: rand()/srand()/random_shuffle; use common::Rng"
-  done < <(strip_comments "$f" \
-    | grep -nE '(^|[^[:alnum:]_:.])(s?rand[[:space:]]*\(|random_shuffle)' \
-    | cut -d: -f1)
-
-  # Rule 3: mutating a relation while range-iterating its rows().
-  # (mawk-compatible: no POSIX classes, no 3-arg match.)
-  while IFS= read -r hit; do
-    report "$f:$hit: Insert/Erase on a relation while iterating its rows();\
- the swap-remove invalidates the loop"
-  done < <(strip_comments "$f" | awk '
-    /for[ \t]*\(.*:.*rows\(\)/ {
-      v = $0
-      sub(/(\.|->)rows\(\).*/, "", v)   # cut at .rows()
-      sub(/.*[^A-Za-z0-9_]/, "", v)     # keep the identifier before it
-      if (v != "") { var = v; start = NR; scanning = 1 }
-    }
-    scanning && NR > start {
-      if ($0 ~ (var "(\\.|->)(Insert|Erase)\\(")) { print start; scanning = 0 }
-      else if (NR - start > 40 || $0 ~ /^}/) scanning = 0
-    }')
-
-  # Rule 4: raw thread construction outside the pool implementation.
-  if [[ "$f" != "src/common/thread_pool.cc" ]]; then
-    while IFS= read -r hit; do
-      report "$f:$hit: raw std::thread construction; route work through\
- common::ThreadPool (src/common/thread_pool.h)"
-    done < <(strip_comments "$f" | grep -nE "$thread_ctor_re" | cut -d: -f1)
-  fi
-
-  # Rule 5: temporary-key lookups into string-keyed maps.
-  while IFS= read -r hit; do
-    report "$f:$hit: lookup with a std::string temporary; string-keyed maps\
- are transparent (common::StringHash) — pass the string_view directly"
-  done < <(strip_comments "$f" | grep -nE "$temp_key_re" | cut -d: -f1)
-
-  # Rule 6: ad-hoc Search construction outside the evaluator.
-  if [[ "$f" != "src/query/evaluator.cc" ]]; then
-    while IFS= read -r hit; do
-      report "$f:$hit: direct Search construction bypasses the planner;\
- evaluate through query::Evaluator (src/query/evaluator.h)"
-    done < <(strip_comments "$f" | grep -nE "$search_ctor_re" | cut -d: -f1)
-  fi
-done
-
-if [[ $failures -gt 0 ]]; then
-  echo "lint: $failures violation(s)" >&2
-  exit 1
-fi
-echo "lint: clean (${#files[@]} files)"
+args=()
+[[ "${1:-}" == "--verbose" ]] && args+=(--verbose)
+"$bin" --root . "${args[@]+"${args[@]}"}" src tests bench tools
