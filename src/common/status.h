@@ -18,6 +18,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kParseError,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +62,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #ifndef QOCO_COMMON_STRINGS_H_
 #define QOCO_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,19 @@ std::string Join(const std::vector<std::string>& pieces,
 
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Process- and platform-stable 64-bit hash (FNV-1a). Unlike std::hash,
+/// whose value may differ between standard libraries and runs, this is a
+/// pure function of the bytes — usable wherever a hash participates in
+/// reproducible decisions (e.g. deriving per-question RNG streams).
+inline uint64_t StableHash64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Combines a hash value into a running seed (boost::hash_combine recipe).
 inline void HashCombine(size_t* seed, size_t value) {

@@ -23,6 +23,22 @@ thread_local const ThreadPool* tls_worker_pool = nullptr;
 
 }  // namespace
 
+void Notification::Notify() {
+  MutexLock lk(mu_);
+  notified_ = true;
+  cv_.notify_all();
+}
+
+bool Notification::HasBeenNotified() const {
+  MutexLock lk(mu_);
+  return notified_;
+}
+
+void Notification::WaitForNotification() const {
+  MutexLock lk(mu_);
+  while (!notified_) cv_.wait(lk);
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads_ = ResolveNumThreads(num_threads);
   if (num_threads_ <= 1) {

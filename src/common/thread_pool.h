@@ -15,6 +15,35 @@
 
 namespace qoco::common {
 
+/// One-shot completion latch: a waiter blocks until some other thread calls
+/// Notify(). The service layer parks a cleaning session on one of these
+/// while its crowd question is in flight (src/service/question_broker.h);
+/// the broker's fan-out path notifies every parked session when the answer
+/// arrives. Notify may be called at most once per Notification; waiting
+/// after notification returns immediately, so completion-before-wait races
+/// are benign by construction.
+class Notification {
+ public:
+  Notification() = default;
+  Notification(const Notification&) = delete;
+  Notification& operator=(const Notification&) = delete;
+
+  /// Wakes every current and future waiter. Must be called at most once.
+  void Notify();
+
+  /// True once Notify has been called.
+  bool HasBeenNotified() const;
+
+  /// Blocks until Notify has been called (returns immediately if it already
+  /// was).
+  void WaitForNotification() const;
+
+ private:
+  mutable Mutex mu_;
+  mutable std::condition_variable_any cv_;
+  bool notified_ QOCO_GUARDED_BY(mu_) = false;
+};
+
 /// Fixed-size work-stealing thread pool behind every parallel hot path
 /// (query evaluation, hitting-set candidate scoring, the benchmark sweep).
 ///

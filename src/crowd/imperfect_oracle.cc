@@ -2,12 +2,32 @@
 
 #include <vector>
 
+#include "src/common/strings.h"
+
 namespace qoco::crowd {
+
+common::Rng ImperfectOracle::QuestionRng(const Question& q) const {
+  // Child mixes (oracle seed, signature hash) with splitmix64, so adjacent
+  // signatures get decorrelated streams and the mapping is a pure function
+  // of the two inputs — the whole point of stateless mode.
+  return rng_.Child(common::StableHash64(q.Signature()));
+}
+
+bool ImperfectOracle::Err(const Question& q) {
+  if (stateless_) return QuestionRng(q).Chance(error_rate_);
+  return rng_.Chance(error_rate_);
+}
 
 std::optional<query::Assignment> ImperfectOracle::Complete(
     const query::CQuery& q, const query::Assignment& partial) {
   std::optional<query::Assignment> correct = truth_.Complete(q, partial);
-  if (!rng_.Chance(error_rate_)) return correct;
+  // COMPL draws up to two values (the error coin, then the victim index);
+  // in stateless mode both come from the per-question stream.
+  common::Rng question_rng =
+      stateless_ ? QuestionRng(Question::Complete(q, partial))
+                 : common::Rng(0);
+  common::Rng& rng = stateless_ ? question_rng : rng_;
+  if (!rng.Chance(error_rate_)) return correct;
   if (!correct.has_value()) {
     // Errs by inventing nothing useful; remains "unsatisfiable".
     return std::nullopt;
@@ -23,7 +43,7 @@ std::optional<query::Assignment> ImperfectOracle::Complete(
     }
   }
   if (filled.empty()) return std::nullopt;
-  query::VarId victim = filled[rng_.Index(filled.size())];
+  query::VarId victim = filled[rng.Index(filled.size())];
   const relational::Value old = correct->ValueOf(victim);
   relational::Value corrupted =
       old.is_int() ? relational::Value(old.AsInt() + 1)
@@ -34,7 +54,14 @@ std::optional<query::Assignment> ImperfectOracle::Complete(
 
 std::optional<relational::Tuple> ImperfectOracle::MissingAnswer(
     const query::CQuery& q, const std::vector<relational::Tuple>& current) {
-  if (rng_.Chance(error_rate_)) return std::nullopt;
+  if (Err(Question::MissingAnswer(q, current))) return std::nullopt;
+  return truth_.MissingAnswer(q, current);
+}
+
+std::optional<relational::Tuple> ImperfectOracle::MissingAnswer(
+    const query::UnionQuery& q,
+    const std::vector<relational::Tuple>& current) {
+  if (Err(Question::MissingAnswer(q, current))) return std::nullopt;
   return truth_.MissingAnswer(q, current);
 }
 

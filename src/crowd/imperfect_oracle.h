@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/rng.h"
+#include "src/crowd/async_oracle.h"
 #include "src/crowd/oracle.h"
 #include "src/crowd/simulated_oracle.h"
 
@@ -21,30 +22,43 @@ namespace qoco::crowd {
 ///    remaining missing answers and reports the result complete.
 ///
 /// All randomness is seeded, so experiments are reproducible.
+///
+/// Two randomness modes:
+///
+///  * *Sequential* (default): mistakes are drawn from one seeded stream in
+///    call order. Reproducible only under a fixed serial question sequence
+///    — a single session re-run end to end.
+///  * *Stateless* (broker-aware): each question's error coin is a pure
+///    function of (seed, canonical question signature) — the same key the
+///    cross-session QuestionBroker dedupes by. Asking the same question
+///    twice, from any session, in any order, on any thread, yields the
+///    same (possibly wrong) answer, so broker answer-sharing preserves
+///    per-session transcripts byte-for-byte even with an erring crowd.
 class ImperfectOracle : public Oracle {
  public:
   /// `ground_truth` must outlive the oracle.
   ImperfectOracle(const relational::Database* ground_truth, double error_rate,
-                  uint64_t seed)
+                  uint64_t seed, bool stateless = false)
       : truth_(ground_truth),
         error_rate_(error_rate),
+        stateless_(stateless),
         rng_(seed) {}
 
   bool IsFactTrue(const relational::Fact& fact) override {
     bool correct = truth_.IsFactTrue(fact);
-    return rng_.Chance(error_rate_) ? !correct : correct;
+    return Err(Question::FactTrue(fact)) ? !correct : correct;
   }
 
   bool IsAnswerTrue(const query::CQuery& q,
                     const relational::Tuple& t) override {
     bool correct = truth_.IsAnswerTrue(q, t);
-    return rng_.Chance(error_rate_) ? !correct : correct;
+    return Err(Question::AnswerTrue(q, t)) ? !correct : correct;
   }
 
   bool IsAnswerTrue(const query::UnionQuery& q,
                     const relational::Tuple& t) override {
     bool correct = truth_.IsAnswerTrue(q, t);
-    return rng_.Chance(error_rate_) ? !correct : correct;
+    return Err(Question::AnswerTrue(q, t)) ? !correct : correct;
   }
 
   std::optional<query::Assignment> Complete(
@@ -56,14 +70,22 @@ class ImperfectOracle : public Oracle {
 
   std::optional<relational::Tuple> MissingAnswer(
       const query::UnionQuery& q,
-      const std::vector<relational::Tuple>& current) override {
-    if (rng_.Chance(error_rate_)) return std::nullopt;
-    return truth_.MissingAnswer(q, current);
-  }
+      const std::vector<relational::Tuple>& current) override;
+
+  bool stateless() const { return stateless_; }
 
  private:
+  /// The per-question randomness stream in stateless mode: seeded by a
+  /// stable hash of the canonical signature mixed with this oracle's seed.
+  common::Rng QuestionRng(const Question& q) const;
+
+  /// One Bernoulli(error_rate) draw for `q`: from the per-question stream
+  /// (stateless) or the shared sequential stream.
+  bool Err(const Question& q);
+
   SimulatedOracle truth_;
   double error_rate_;
+  bool stateless_;
   common::Rng rng_;
 };
 

@@ -12,4 +12,12 @@ std::string ToString(const QuestionCounts& counts) {
          " member_answers=" + std::to_string(counts.member_answers);
 }
 
+std::string ToString(const SessionAttribution& attribution) {
+  return "asked=" + std::to_string(attribution.asked) +
+         " cache_hits=" + std::to_string(attribution.cache_hits) +
+         " joined=" + std::to_string(attribution.joined) +
+         " issued=" + std::to_string(attribution.issued) +
+         " failures=" + std::to_string(attribution.failures);
+}
+
 }  // namespace qoco::crowd

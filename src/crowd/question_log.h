@@ -60,6 +60,32 @@ struct QuestionCounts {
 /// Renders the counts on one line for experiment output.
 std::string ToString(const QuestionCounts& counts);
 
+/// Per-session accounting of broker interaction (src/service): of the
+/// questions a session posed, how many reached the crowd on its behalf vs.
+/// how many were served for free from another session's in-flight question
+/// or from the answered cache. `asked == issued + joined + cache_hits +`
+/// any asks that failed before being keyed (never, today), so the dedup
+/// savings attributable to a session are `asked - issued`.
+struct SessionAttribution {
+  size_t asked = 0;       // questions posed to the broker
+  size_t cache_hits = 0;  // answered instantly from the broker's cache
+  size_t joined = 0;      // attached to another session's in-flight question
+  size_t issued = 0;      // caused a fresh question to reach the oracle
+  size_t failures = 0;    // asks that completed with a non-OK status
+
+  SessionAttribution& operator+=(const SessionAttribution& other) {
+    asked += other.asked;
+    cache_hits += other.cache_hits;
+    joined += other.joined;
+    issued += other.issued;
+    failures += other.failures;
+    return *this;
+  }
+};
+
+/// Renders the attribution on one line for experiment output.
+std::string ToString(const SessionAttribution& attribution);
+
 }  // namespace qoco::crowd
 
 #endif  // QOCO_CROWD_QUESTION_LOG_H_

@@ -23,6 +23,20 @@ namespace qoco::relational {
 ///
 /// Fields use the CSV escaping rules of relational/csv.h, so values
 /// containing tabs, commas or newlines round-trip.
+/// An immutable position in an EditJournal: the byte length of a prefix
+/// whose content never changes afterwards (the journal is append-only).
+/// Snapshot-isolated readers (src/service/session_manager.h) capture a
+/// handle at admission and replay exactly that prefix over the base
+/// snapshot, so concurrently committing sessions never leak into a reader's
+/// view mid-run.
+struct JournalSnapshot {
+  size_t bytes = 0;
+
+  friend bool operator==(JournalSnapshot a, JournalSnapshot b) {
+    return a.bytes == b.bytes;
+  }
+};
+
 class EditJournal {
  public:
   /// Serializes one edit as a journal line (without trailing newline).
@@ -35,8 +49,27 @@ class EditJournal {
   void Append(bool insert, const Fact& fact, const Catalog& catalog)
       QOCO_COORDINATOR_ONLY;
 
+  /// Appends already-encoded records (as produced by EncodeEdit/Append of
+  /// another journal; must be newline-terminated or empty). Used by the
+  /// session service to splice per-session journals into the global commit
+  /// journal. Not coordinator-only: callers synchronize externally and must
+  /// guarantee a scheduling-independent append order themselves (the
+  /// SessionManager commits in session-id order for exactly this reason).
+  void AppendRecords(std::string_view encoded) { contents_ += encoded; }
+
   /// The journal contents accumulated so far (one record per line).
   const std::string& contents() const { return contents_; }
+
+  /// Handle to the current end of the journal. Prefixes are immutable, so
+  /// the handle stays valid for the journal's lifetime (Clear invalidates).
+  JournalSnapshot snapshot() const { return JournalSnapshot{contents_.size()}; }
+
+  /// The journal prefix frozen by `snap`. Precondition: `snap` was taken
+  /// from this journal (its byte count never exceeds contents()).
+  std::string_view ContentsAt(JournalSnapshot snap) const {
+    return std::string_view(contents_).substr(0, snap.bytes);
+  }
+
   void Clear() QOCO_COORDINATOR_ONLY { contents_.clear(); }
 
  private:

@@ -1,0 +1,57 @@
+#include "src/service/broker_oracle.h"
+
+namespace qoco::service {
+
+std::optional<crowd::Answer> BrokerOracle::AskChecked(crowd::Question q) {
+  if (!status_.ok()) return std::nullopt;  // Failed closed already.
+  q.scope = scope_;
+  common::Result<crowd::Answer> result = broker_->AskBlocking(sid_, q);
+  if (!result.ok()) {
+    status_ = result.status();
+    return std::nullopt;
+  }
+  return std::move(result).value();
+}
+
+bool BrokerOracle::IsFactTrue(const relational::Fact& fact) {
+  std::optional<crowd::Answer> a = AskChecked(crowd::Question::FactTrue(fact));
+  return a.has_value() ? a->yes : true;
+}
+
+bool BrokerOracle::IsAnswerTrue(const query::CQuery& q,
+                                const relational::Tuple& t) {
+  std::optional<crowd::Answer> a =
+      AskChecked(crowd::Question::AnswerTrue(q, t));
+  return a.has_value() ? a->yes : true;
+}
+
+bool BrokerOracle::IsAnswerTrue(const query::UnionQuery& q,
+                                const relational::Tuple& t) {
+  std::optional<crowd::Answer> a =
+      AskChecked(crowd::Question::AnswerTrue(q, t));
+  return a.has_value() ? a->yes : true;
+}
+
+std::optional<query::Assignment> BrokerOracle::Complete(
+    const query::CQuery& q, const query::Assignment& partial) {
+  std::optional<crowd::Answer> a =
+      AskChecked(crowd::Question::Complete(q, partial));
+  return a.has_value() ? a->assignment : std::nullopt;
+}
+
+std::optional<relational::Tuple> BrokerOracle::MissingAnswer(
+    const query::CQuery& q, const std::vector<relational::Tuple>& current) {
+  std::optional<crowd::Answer> a =
+      AskChecked(crowd::Question::MissingAnswer(q, current));
+  return a.has_value() ? a->tuple : std::nullopt;
+}
+
+std::optional<relational::Tuple> BrokerOracle::MissingAnswer(
+    const query::UnionQuery& q,
+    const std::vector<relational::Tuple>& current) {
+  std::optional<crowd::Answer> a =
+      AskChecked(crowd::Question::MissingAnswer(q, current));
+  return a.has_value() ? a->tuple : std::nullopt;
+}
+
+}  // namespace qoco::service

@@ -1,0 +1,69 @@
+#ifndef QOCO_SERVICE_BROKER_ORACLE_H_
+#define QOCO_SERVICE_BROKER_ORACLE_H_
+
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/crowd/async_oracle.h"
+#include "src/crowd/oracle.h"
+#include "src/service/question_broker.h"
+
+namespace qoco::service {
+
+/// Per-session blocking facade over the shared QuestionBroker. The cleaning
+/// pipeline (qoco::Session and everything below it) speaks the blocking
+/// crowd::Oracle interface; each service session gets one BrokerOracle that
+/// reifies every call as a crowd::Question tagged with the session's dedup
+/// scope and parks on QuestionBroker::AskBlocking until the shared answer
+/// arrives.
+///
+/// Failure handling: the cleaning loop has no Status channel, so on the
+/// first broker failure (e.g. DeadlineExceeded after retries) the shim
+/// records the status and *fails closed* — every subsequent question is
+/// answered conservatively without touching the broker (facts/answers
+/// confirmed true, nothing reported missing, completion tasks decline), so
+/// the cleaner stops proposing edits and terminates promptly. The session
+/// runner checks status() after each step and surfaces it as the session's
+/// result; the journal keeps only the edits from answered questions, never
+/// a half-applied one.
+class BrokerOracle : public crowd::Oracle {
+ public:
+  /// `scope` keys this session's questions in the broker; sessions that
+  /// should share answers must pass equal scopes (SessionManager uses the
+  /// panel member name, so all sessions share per-member caches).
+  BrokerOracle(QuestionBroker* broker, SessionId sid, std::string scope)
+      : broker_(broker), sid_(sid), scope_(std::move(scope)) {}
+
+  bool IsFactTrue(const relational::Fact& fact) override;
+  bool IsAnswerTrue(const query::CQuery& q, const relational::Tuple& t) override;
+  bool IsAnswerTrue(const query::UnionQuery& q,
+                    const relational::Tuple& t) override;
+  std::optional<query::Assignment> Complete(
+      const query::CQuery& q, const query::Assignment& partial) override;
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::CQuery& q,
+      const std::vector<relational::Tuple>& current) override;
+  std::optional<relational::Tuple> MissingAnswer(
+      const query::UnionQuery& q,
+      const std::vector<relational::Tuple>& current) override;
+
+  /// OK until the first broker failure; afterwards the first failure's
+  /// status, sticky.
+  const common::Status& status() const { return status_; }
+
+ private:
+  /// Runs one question through the broker, absorbing failure into status_.
+  /// Returns nullopt when failed (caller substitutes its conservative
+  /// answer).
+  std::optional<crowd::Answer> AskChecked(crowd::Question q);
+
+  QuestionBroker* broker_;
+  SessionId sid_;
+  std::string scope_;
+  common::Status status_ = common::Status::OK();
+};
+
+}  // namespace qoco::service
+
+#endif  // QOCO_SERVICE_BROKER_ORACLE_H_

@@ -1,0 +1,122 @@
+#include "src/service/clock.h"
+
+#include <utility>
+
+namespace qoco::service {
+
+Tick FakeClock::Now() {
+  common::MutexLock lk(mu_);
+  return now_;
+}
+
+void FakeClock::RunAt(Tick when, std::function<void()> fn) {
+  std::function<void()> observer;
+  {
+    common::MutexLock lk(mu_);
+    if (when > now_) {
+      tasks_.emplace(std::make_pair(when, next_seq_++), std::move(fn));
+      observer = schedule_observer_;
+    }
+  }
+  if (observer) {
+    observer();
+    return;
+  }
+  // Due now (or in the past): run inline, outside the lock so `fn` may call
+  // back into the clock.
+  if (fn) fn();
+}
+
+void FakeClock::AdvanceTo(Tick t) {
+  while (true) {
+    std::function<void()> task;
+    {
+      common::MutexLock lk(mu_);
+      if (t < now_) return;
+      auto it = tasks_.begin();
+      if (it == tasks_.end() || it->first.first > t) {
+        now_ = t;
+        return;
+      }
+      now_ = it->first.first;  // Time passes to each deadline in order.
+      task = std::move(it->second);
+      tasks_.erase(it);
+    }
+    task();
+  }
+}
+
+std::optional<Tick> FakeClock::NextDue() {
+  common::MutexLock lk(mu_);
+  if (tasks_.empty()) return std::nullopt;
+  return tasks_.begin()->first.first;
+}
+
+bool FakeClock::AdvanceToNextDue() {
+  std::optional<Tick> due = NextDue();
+  if (!due.has_value()) return false;
+  AdvanceTo(*due);
+  return true;
+}
+
+size_t FakeClock::PendingTasks() {
+  common::MutexLock lk(mu_);
+  return tasks_.size();
+}
+
+void FakeClock::SetScheduleObserver(std::function<void()> observer) {
+  common::MutexLock lk(mu_);
+  schedule_observer_ = std::move(observer);
+}
+
+RealtimeClock::RealtimeClock() : epoch_(std::chrono::steady_clock::now()) {
+  // qoco-lint: allow(raw-thread): dedicated timer thread — ThreadPool workers
+  // execute queued tasks eagerly and cannot hold one back until a deadline.
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+RealtimeClock::~RealtimeClock() {
+  {
+    common::MutexLock lk(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+}
+
+Tick RealtimeClock::Now() {
+  return static_cast<Tick>(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - epoch_)
+                               .count());
+}
+
+void RealtimeClock::RunAt(Tick when, std::function<void()> fn) {
+  common::MutexLock lk(mu_);
+  tasks_.emplace(std::make_pair(when, next_seq_++), std::move(fn));
+  cv_.notify_all();
+}
+
+void RealtimeClock::TimerLoop() {
+  common::MutexLock lk(mu_);
+  while (true) {
+    if (shutdown_) return;  // Drops pending timers; timeouts are best-effort.
+    if (tasks_.empty()) {
+      cv_.wait(lk);
+      continue;
+    }
+    Tick due = tasks_.begin()->first.first;
+    Tick now = Now();
+    if (now < due) {
+      cv_.wait_for(lk, std::chrono::microseconds(due - now));
+      continue;
+    }
+    auto it = tasks_.begin();
+    std::function<void()> task = std::move(it->second);
+    tasks_.erase(it);
+    lk.unlock();
+    task();
+    lk.lock();
+  }
+}
+
+}  // namespace qoco::service

@@ -1,0 +1,193 @@
+#ifndef QOCO_SERVICE_SESSION_MANAGER_H_
+#define QOCO_SERVICE_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cleaning/cleaner.h"
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/common/thread_safety.h"
+#include "src/crowd/question_log.h"
+#include "src/query/query.h"
+#include "src/relational/database.h"
+#include "src/relational/journal.h"
+#include "src/service/question_broker.h"
+
+namespace qoco::service {
+
+/// Admission-control knobs for the session service.
+struct ServiceLimits {
+  /// Sessions running concurrently; further submissions queue.
+  size_t max_active_sessions = 64;
+  /// Queued (admitted, not yet running) sessions; beyond this Submit fails
+  /// with ResourceExhausted.
+  size_t max_queued_sessions = 1024;
+};
+
+/// One client's cleaning request: an ordered list of view-cleaning steps
+/// over the shared database.
+struct SessionSpec {
+  struct Step {
+    enum class Kind { kCleanView, kCleanUnionView };
+    Kind kind = Kind::kCleanView;
+    std::string query_text;
+  };
+  std::vector<Step> steps;
+  uint64_t seed = 1;
+  /// Per-session cleaner tuning. num_threads is forced to 1: each session
+  /// is serial inside (its transcript must match a solo run byte for byte);
+  /// the service's parallelism is *across* sessions.
+  cleaning::CleanerConfig cleaner;
+  /// The commit-journal position this session reads from: its private
+  /// database is the base snapshot plus exactly this journal prefix.
+  /// Default ({}) reads the pure base. Callers pass JournalHead() to read
+  /// everything committed so far. An explicit handle (rather than "head at
+  /// admission") keeps transcripts independent of submission timing.
+  relational::JournalSnapshot base_snapshot;
+  /// Question-dedup scope (see BrokerOracle). Sessions sharing a scope
+  /// share cached answers; the default single-member scope is what the
+  /// cross-session dedup guarantee is about.
+  std::string scope = "member0";
+};
+
+/// Everything a finished session leaves behind.
+struct SessionResult {
+  common::Status status = common::Status::OK();
+  /// The session's own edit transcript (EditJournal contents). Byte-equal
+  /// to a solo serial run of the same spec — the service determinism
+  /// contract.
+  std::string journal;
+  /// DatabaseToCsv of the session's private database after cleaning.
+  std::string final_facts_csv;
+  /// Crowd interaction as the session experienced it (dedup-blind).
+  crowd::QuestionCounts questions;
+  /// What the session actually cost the crowd (broker attribution):
+  /// questions it issued vs. answers it shared.
+  crowd::SessionAttribution attribution;
+};
+
+/// Multiplexes many concurrent cleaning sessions over one shared base
+/// database and one QuestionBroker.
+///
+/// Isolation model: the base database is serialized once (DatabaseToCsv) at
+/// construction; every session materializes a private Database from that
+/// snapshot plus the commit-journal prefix named by its spec
+/// (RecoverDatabase), then cleans it in place with a serial qoco::Session.
+/// Readers are snapshot-isolated — concurrent commits never appear mid-run.
+/// Successful sessions splice their edit transcripts into the shared commit
+/// journal in session-id order (a scheduling-independent total order), so
+/// the commit journal is byte-identical at any thread count.
+///
+/// Coordinator/worker split: Submit runs on the caller's thread and does all
+/// catalog interning up front (query parsing, CSV materialization); the
+/// pooled session bodies only read the shared catalog and write their
+/// private databases, which keeps the repo's coordinator-only interning
+/// contract intact.
+class SessionManager {
+ public:
+  /// `base`, `broker` and `pool` must outlive the manager. Sessions run on
+  /// `pool`; with an inline pool (num_threads <= 1) Submit runs the session
+  /// to completion before returning.
+  SessionManager(const relational::Database* base, QuestionBroker* broker,
+                 common::ThreadPool* pool, ServiceLimits limits = {});
+
+  /// Admits one session: parses its queries, materializes its private
+  /// database at spec.base_snapshot, and runs it (immediately, or queued
+  /// behind max_active_sessions). Fails fast — without creating a session —
+  /// on parse errors, an out-of-range snapshot, or a full queue
+  /// (ResourceExhausted). Call from the coordinator thread only.
+  common::Result<SessionId> Submit(SessionSpec spec) QOCO_COORDINATOR_ONLY;
+
+  /// Blocks until session `id` finishes and returns its result.
+  common::Result<SessionResult> Wait(SessionId id);
+
+  /// Blocks until no session is active or queued.
+  void WaitIdle();
+
+  /// Handle to the current end of the commit journal (pass as a later
+  /// spec's base_snapshot to read all commits up to now).
+  relational::JournalSnapshot JournalHead() const;
+
+  /// Copy of the commit journal contents (replayable over the base
+  /// snapshot with relational::ReplayJournal).
+  std::string CommitJournalContents() const;
+
+  size_t ActiveSessions() const;
+  size_t QueuedSessions() const;
+
+  /// Sessions whose body is executing on a pool worker right now. At most
+  /// min(ActiveSessions, pool width): admitted sessions can still be
+  /// waiting for a free worker. The test driver advances its fake clock
+  /// when every *running* session is parked on a crowd question.
+  size_t RunningSessions() const;
+
+  /// Observer invoked (outside the manager lock) each time a session
+  /// finishes. The deterministic test driver counts finishes against parks
+  /// to decide when the fake clock may advance.
+  void SetFinishObserver(std::function<void(SessionId)> observer);
+
+ private:
+  /// One parsed step: exactly one of the two optionals is set.
+  struct ParsedStep {
+    std::optional<query::CQuery> cquery;
+    std::optional<query::UnionQuery> union_query;
+  };
+
+  struct SessionState {
+    std::vector<ParsedStep> steps;
+    uint64_t seed = 1;
+    cleaning::CleanerConfig cleaner;
+    std::string scope;
+    relational::Database db;  // private snapshot copy
+    bool done = false;
+    SessionResult result;
+
+    explicit SessionState(relational::Database database)
+        : db(std::move(database)) {}
+  };
+
+  /// Pool worker body: runs `first`, then drains the queue (iteratively —
+  /// no recursion, so inline pools and deep queues are safe).
+  void RunWorker(SessionId first);
+
+  /// Runs one admitted session to completion (no lock held).
+  void RunOne(SessionId id);
+
+  /// Marks `id` finished, advances the in-order commit frontier, wakes
+  /// waiters, and either hands back the next queued session id (slot
+  /// reuse) or releases the slot. Fires the finish observer outside the
+  /// lock.
+  std::optional<SessionId> FinishAndDequeue(SessionId id);
+
+  const relational::Database* base_;
+  QuestionBroker* broker_;
+  common::ThreadPool* pool_;
+  const ServiceLimits limits_;
+  const std::string snapshot_csv_;  // base serialized once, immutable
+
+  mutable common::Mutex mu_;
+  mutable std::condition_variable_any cv_;
+  uint64_t next_id_ QOCO_GUARDED_BY(mu_) = 1;
+  size_t active_ QOCO_GUARDED_BY(mu_) = 0;
+  size_t running_ QOCO_GUARDED_BY(mu_) = 0;
+  std::deque<SessionId> queued_ QOCO_GUARDED_BY(mu_);
+  std::map<SessionId, std::unique_ptr<SessionState>> sessions_
+      QOCO_GUARDED_BY(mu_);
+  relational::EditJournal commit_journal_ QOCO_GUARDED_BY(mu_);
+  /// Finished-but-not-yet-committed journals, spliced strictly in id order.
+  SessionId next_commit_ QOCO_GUARDED_BY(mu_) = 1;
+  std::map<SessionId, std::string> pending_commits_ QOCO_GUARDED_BY(mu_);
+  std::function<void(SessionId)> finish_observer_ QOCO_GUARDED_BY(mu_);
+};
+
+}  // namespace qoco::service
+
+#endif  // QOCO_SERVICE_SESSION_MANAGER_H_

@@ -32,7 +32,8 @@ TEST(StatusTest, EveryCodeHasAName) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kUnimplemented, StatusCode::kParseError}) {
+        StatusCode::kUnimplemented, StatusCode::kParseError,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -56,6 +57,10 @@ TEST(StatusTest, EveryFactoryProducesItsCodeAndToString) {
       {Status::Unimplemented("m"), StatusCode::kUnimplemented,
        "Unimplemented: m"},
       {Status::ParseError("m"), StatusCode::kParseError, "ParseError: m"},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded: m"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "ResourceExhausted: m"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

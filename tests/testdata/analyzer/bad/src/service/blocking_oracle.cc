@@ -1,0 +1,11 @@
+// Fixture: blocking-oracle must fire exactly once (a direct crowd::Oracle
+// member call in a src/service/ file, bypassing the QuestionBroker).
+#include "src/crowd/oracle.h"
+
+namespace qoco::service {
+
+bool VerifyDirectly(crowd::Oracle* oracle, const relational::Fact& fact) {
+  return oracle->IsFactTrue(fact);
+}
+
+}  // namespace qoco::service

@@ -193,6 +193,10 @@ const std::vector<RuleInfo>& Rules() {
        "QOCO_GUARDED_BY members touched without their mutex",
        "take a MutexLock on the named mutex first, or annotate the "
        "function QOCO_REQUIRES(mutex)"},
+      {"blocking-oracle",
+       "direct crowd::Oracle member calls inside src/service/",
+       "ask through BrokerOracle (QuestionBroker::AskBlocking) so questions "
+       "dedup across sessions, retry on timeout, and fail closed"},
       {"unjustified-suppression",
        "qoco-lint allow-comments with no justification",
        "every suppression documents why it is safe: "
@@ -498,6 +502,28 @@ const SelfTestCase kCases[] = {
      "  Mutex mu_;\n"
      "  size_t pending_ QOCO_GUARDED_BY(mu_) = 0;\n"
      "};"},
+
+    {"oracle-arrow-call", "blocking-oracle", true, "src/service/a.cc",
+     "bool F(crowd::Oracle* oracle, const relational::Fact& fact) {\n"
+     "  return oracle->IsFactTrue(fact);\n"
+     "}"},
+    {"oracle-dot-call", "blocking-oracle", true, "src/service/a.cc",
+     "std::optional<relational::Tuple> F(SimulatedOracle& oracle) {\n"
+     "  return oracle.MissingAnswer(q, current);\n"
+     "}"},
+    {"oracle-adapter-definition", "blocking-oracle", false,
+     "src/service/broker_oracle.cc",
+     "bool BrokerOracle::IsFactTrue(const relational::Fact& fact) {\n"
+     "  return AskChecked(crowd::Question::FactTrue(fact)).has_value();\n"
+     "}"},
+    {"oracle-question-factory", "blocking-oracle", false,
+     "src/service/broker_oracle.cc",
+     "crowd::Question q = crowd::Question::Complete(query, partial);"},
+    {"oracle-call-outside-service", "blocking-oracle", false,
+     "src/cleaning/crowd_panel.cc",
+     "bool F(crowd::Oracle* oracle, const relational::Fact& fact) {\n"
+     "  return oracle->IsFactTrue(fact);\n"
+     "}"},
 
     {"suppress-trailing", "unordered-iteration", false, "src/a.cc",
      "std::unordered_map<int, int> m_;\n"

@@ -886,6 +886,37 @@ void RuleGuardedBy(const SourceFile& f, const SourceFile* sibling,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 11: blocking-oracle
+// ---------------------------------------------------------------------------
+
+/// Service-layer code must ask the crowd through the QuestionBroker
+/// (BrokerOracle -> AskBlocking): the broker dedups identical questions
+/// across sessions, retries timeouts, and fails closed. A direct member
+/// call on a crowd::Oracle blocks a pool worker with none of that.
+/// Approximation: any `.`/`->` invocation of an Oracle interface method in
+/// a src/service/ file. Method *definitions* (`BrokerOracle::IsFactTrue`)
+/// and the crowd::Question::Complete/MissingAnswer factories are qualified
+/// with `::`, so the receiver pattern never matches them.
+void RuleBlockingOracle(const SourceFile& f, std::vector<Finding>* out) {
+  if (f.path.find("src/service/") == std::string::npos) return;
+  static const std::set<std::string> kOracleMethods = {
+      "IsFactTrue", "IsAnswerTrue", "Complete", "MissingAnswer"};
+  const Tokens& c = f.code;
+  for (size_t i = 0; i + 2 < c.size(); ++i) {
+    if (!(Is(c[i], ".") || Is(c[i], "->"))) continue;
+    if (!IsIdent(c[i + 1]) || kOracleMethods.count(c[i + 1].text) == 0) {
+      continue;
+    }
+    if (!Is(c[i + 2], "(")) continue;
+    out->push_back({f.path, c[i + 1].line, "blocking-oracle",
+                    "direct " + c[i + 1].text + "() on a crowd oracle "
+                    "blocks a pool worker outside the broker; service code "
+                    "asks via BrokerOracle so questions dedup across "
+                    "sessions, retry on timeout, and fail closed"});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -944,6 +975,7 @@ void RunRules(const SourceFile& file, const SourceFile* sibling,
   RuleWorkerIntern(file, index, findings);
   RuleGuardedBy(file, sibling, funcs,
                 sibling != nullptr ? &sibling_funcs : nullptr, findings);
+  RuleBlockingOracle(file, findings);
 }
 
 }  // namespace qoco::analyze

@@ -6,6 +6,7 @@
 #   BENCH_parallel.json     serial-vs-N-threads sweep (self-verifying)
 #   BENCH_intern.json       dictionary-encoded storage engine before/after
 #   BENCH_optimizer.json    cost-based planner vs legacy greedy / parse order
+#   BENCH_service.json      session-service load: dedup + latency sweep
 #
 # Repetitions are pinned (kReps below, aggregates only) so reruns on the
 # same host are comparable. The "before" half of BENCH_intern.json comes
@@ -23,7 +24,8 @@ kPinnedFlags=(--benchmark_repetitions="$kReps"
               --benchmark_report_aggregates_only=true
               --benchmark_out_format=json)
 
-for bin in perf_microbench perf_dbgroup perf_optimizer parallel_sweep; do
+for bin in perf_microbench perf_dbgroup perf_optimizer parallel_sweep \
+           service_load; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "bench.sh: $BUILD/bench/$bin missing; build the bench targets first" >&2
     exit 1
@@ -106,6 +108,11 @@ EOF
 
 echo "== BENCH_parallel.json"
 "$BUILD/bench/parallel_sweep" BENCH_parallel.json
+
+echo "== BENCH_service.json"
+# Self-verifying: exits nonzero if cross-session dedup falls below 2x or
+# any session's transcript diverges from its solo serial run.
+"$BUILD/bench/service_load" BENCH_service.json
 
 echo "== BENCH_optimizer.json"
 # Planned-vs-legacy ratios on the small workload queries sit near 1.0x, so
@@ -194,4 +201,4 @@ for c in comparisons:
     print(f"  {c['name']:28s} {c['speedup']:8.2f}x  plan: {c['planned_plan']}")
 EOF
 
-echo "bench.sh: wrote BENCH_incremental.json BENCH_intern.json BENCH_parallel.json BENCH_optimizer.json"
+echo "bench.sh: wrote BENCH_incremental.json BENCH_intern.json BENCH_parallel.json BENCH_optimizer.json BENCH_service.json"
